@@ -1,0 +1,52 @@
+// Command openmb-controller runs the OpenMB middlebox controller as a
+// daemon: middleboxes (cmd/openmb-mb) connect over TCP, and the controller
+// logs registrations and introspection events. Northbound operations are
+// exposed programmatically (package openmb); this daemon exists to
+// demonstrate the multi-process deployment of the southbound protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"openmb"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9753", "address to accept middlebox connections on")
+	quiet := flag.Duration("quiet-period", 5*time.Second, "event quiescence before completing transactions (the paper's 5 s default)")
+	compress := flag.Bool("compress", false, "flate-compress state transfers (§8.3)")
+	events := flag.Bool("log-events", true, "log introspection events")
+	flag.Parse()
+
+	ctrl := openmb.NewController(openmb.ControllerOptions{
+		QuietPeriod: *quiet,
+		Compress:    *compress,
+	})
+	if *events {
+		ctrl.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
+			log.Printf("event from %s: code=%s key=%s values=%v", mb, ev.Code, ev.Key, ev.Values)
+		})
+	}
+	if err := ctrl.Serve(openmb.TCPTransport{}, *listen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v)", *listen, *quiet, *compress)
+
+	// Periodically report the registered middleboxes.
+	go func() {
+		for range time.Tick(5 * time.Second) {
+			log.Printf("registered middleboxes: %v", ctrl.Middleboxes())
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	ctrl.Close()
+}

@@ -1,0 +1,81 @@
+// Command openmb-trace generates and inspects the synthetic workload traces
+// used by the experiments:
+//
+//	openmb-trace -gen cloud -flows 500 -out cloud.trc
+//	openmb-trace -info cloud.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"openmb/internal/trace"
+)
+
+func main() {
+	gen := flag.String("gen", "", "generate a trace: cloud|univdc|redundant")
+	out := flag.String("out", "", "output file for -gen")
+	info := flag.String("info", "", "print statistics for a trace file")
+	flows := flag.Int("flows", 200, "flows to generate")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		if *out == "" {
+			log.Fatal("openmb-trace: -gen requires -out")
+		}
+		var tr *trace.Trace
+		switch *gen {
+		case "cloud":
+			tr = trace.Cloud(trace.CloudConfig{Seed: *seed, Flows: *flows})
+		case "univdc":
+			tr = trace.UnivDC(trace.UnivDCConfig{Seed: *seed, Flows: *flows})
+		case "redundant":
+			tr = trace.Redundant(trace.RedundantConfig{Seed: *seed, Flows: *flows})
+		default:
+			log.Fatalf("openmb-trace: unknown generator %q", *gen)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		s := tr.Stats()
+		fmt.Printf("wrote %s: %d flows (%d HTTP), %d packets, %d payload bytes, span %v\n",
+			*out, s.Flows, s.HTTPFlows, s.Packets, s.Bytes, s.Span.Round(time.Second))
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := tr.Stats()
+		fmt.Printf("%s: %d flows (%d HTTP), %d packets, %d payload bytes, span %v\n",
+			*info, s.Flows, s.HTTPFlows, s.Packets, s.Bytes, s.Span.Round(time.Second))
+		long := 0
+		for _, fl := range tr.Flows {
+			if fl.Duration() > 1500*time.Second {
+				long++
+			}
+		}
+		fmt.Printf("flows over 1500 s: %d (%.1f%%)\n", long, 100*float64(long)/float64(len(tr.Flows)))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the minimal OpenMB flow. Two PRADS-like monitors register
+// with a controller; traffic builds per-flow state at the first; a single
+// northbound MoveInternal relocates a subnet's state to the second, exactly
+// once, with the source copy deleted after the quiet period.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"openmb"
+)
+
+func main() {
+	// 1. A controller serving on an in-memory transport (use
+	//    openmb.TCPTransport{} and a real address for multi-process).
+	ctrl := openmb.NewController(openmb.ControllerOptions{QuietPeriod: 200 * time.Millisecond})
+	tr := openmb.NewMemTransport()
+	if err := ctrl.Serve(tr, "controller"); err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// 2. Two monitor middleboxes connect and register.
+	prads1 := openmb.NewMonitor()
+	prads2 := openmb.NewMonitor()
+	rt1 := openmb.NewRuntime("prads1", prads1, openmb.RuntimeOptions{})
+	rt2 := openmb.NewRuntime("prads2", prads2, openmb.RuntimeOptions{})
+	defer rt1.Close()
+	defer rt2.Close()
+	for name, rt := range map[string]*openmb.Runtime{"prads1": rt1, "prads2": rt2} {
+		if err := rt.Connect(tr, "controller"); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := ctrl.WaitForMB(name, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("registered middleboxes:", ctrl.Middleboxes())
+
+	// 3. Traffic builds per-flow reporting state at prads1.
+	for i := 0; i < 20; i++ {
+		rt1.HandlePacket(&openmb.Packet{
+			SrcIP: netip.AddrFrom4([4]byte{10, 0, byte(i / 10), byte(i)}),
+			DstIP: netip.MustParseAddr("52.20.0.1"),
+			Proto: 6, SrcPort: uint16(10000 + i), DstPort: 80,
+			Payload: []byte("GET / HTTP/1.1\r\n"),
+		})
+	}
+	rt1.Drain(5 * time.Second)
+	stats, err := ctrl.Stats("prads1", openmb.MatchAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prads1 state: %d per-flow chunks (%d bytes)\n",
+		stats.ReportPerflowChunks, stats.ReportPerflowBytes)
+
+	// 4. Move one subnet's state to prads2: the northbound API hides the
+	//    gets, puts, ACKs, event buffering, and the delayed delete.
+	match, err := openmb.ParseFieldMatch("[nw_src=10.0.0.0/24]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctrl.MoveInternal("prads1", "prads2", match); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after move: prads2 holds %d flows\n", prads2.FlowCount())
+
+	// 5. The source copy disappears once the transaction completes.
+	ctrl.WaitTxns(10 * time.Second)
+	fmt.Printf("after quiet period: prads1 holds %d flows, prads2 holds %d\n",
+		prads1.FlowCount(), prads2.FlowCount())
+
+	total := prads1.TotalPerflowPackets() + prads2.TotalPerflowPackets()
+	fmt.Printf("conservation: %d packet counts across both instances (sent 20)\n", total)
+}

@@ -1,0 +1,163 @@
+package bed_test
+
+import (
+	"testing"
+	"time"
+
+	"openmb/internal/bed"
+	"openmb/internal/core"
+	"openmb/internal/mbox/mbtest"
+	"openmb/internal/mbox/monitor"
+	"openmb/internal/netsim"
+	"openmb/internal/packet"
+	"openmb/internal/sdn"
+)
+
+func newBed(t *testing.T) *bed.Bed {
+	t.Helper()
+	b, err := bed.New(core.Options{QuietPeriod: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestBedWiring(t *testing.T) {
+	b := newBed(t)
+	b.AddSwitch("s1")
+	sink := b.AddHost("sink", 0)
+	mon := monitor.New()
+	rt, err := b.AddMB("m1", mon, "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MB("m1") != rt {
+		t.Fatal("MB lookup broken")
+	}
+	for _, pair := range [][2]string{{"s1", "m1"}, {"m1", "sink"}} {
+		if err := b.Connect(pair[0], pair[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.SDN.Route(packet.MatchAll, 10, []sdn.Hop{{Switch: "s1", OutPort: "m1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Net.Inject("s1", mbtest.PacketForFlow(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Quiesce(5 * time.Second) {
+		t.Fatal("quiesce failed")
+	}
+	if mon.FlowCount() != 1 {
+		t.Fatalf("monitor flows: %d", mon.FlowCount())
+	}
+	// The monitor is passive: nothing forwarded to the sink.
+	if sink.Count() != 0 {
+		t.Fatalf("passive monitor forwarded packets: %d", sink.Count())
+	}
+	// The controller sees the middlebox.
+	if _, err := b.Ctrl.Stats("m1", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBedStandaloneMBNotRegistered(t *testing.T) {
+	b := newBed(t)
+	mon := monitor.New()
+	b.AddStandaloneMB("solo", mon, "")
+	if err := b.Net.Inject("solo", mbtest.PacketForFlow(1)); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce(5 * time.Second)
+	if mon.FlowCount() != 1 {
+		t.Fatal("standalone MB did not process")
+	}
+	if _, err := b.Ctrl.Stats("solo", packet.MatchAll); err == nil {
+		t.Fatal("standalone MB must not be registered with the controller")
+	}
+}
+
+func TestBedInjectTracePacing(t *testing.T) {
+	b := newBed(t)
+	mon := monitor.New()
+	if _, err := b.AddMB("m1", mon, ""); err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*packet.Packet{mbtest.PacketForFlow(1), mbtest.PacketForFlow(2), mbtest.PacketForFlow(3)}
+	start := time.Now()
+	if err := b.InjectTrace("m1", pkts, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("pacing not applied: %v", elapsed)
+	}
+	b.Quiesce(5 * time.Second)
+	if mon.FlowCount() != 3 {
+		t.Fatalf("flows: %d", mon.FlowCount())
+	}
+}
+
+func TestBedInjectToUnknownEndpoint(t *testing.T) {
+	b := newBed(t)
+	if err := b.InjectTrace("nowhere", []*packet.Packet{mbtest.PacketForFlow(1)}, 0); err == nil {
+		t.Fatal("inject to unknown endpoint should fail")
+	}
+}
+
+// TestMoveWithLinkFaults injects packet drops on the data path during a
+// controlled move: state conservation must hold relative to the packets the
+// middleboxes actually processed (drops before the middlebox are invisible
+// to state; they must not corrupt the transaction machinery).
+func TestMoveWithLinkFaults(t *testing.T) {
+	b := newBed(t)
+	b.AddSwitch("s1")
+	src := monitor.New()
+	dst := monitor.New()
+	srcRT, err := b.AddMB("src", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddMB("dst", dst, ""); err != nil {
+		t.Fatal(err)
+	}
+	b.AddHost("gen", 1)
+	for _, pair := range [][2]string{{"gen", "s1"}, {"s1", "src"}, {"s1", "dst"}} {
+		if err := b.Connect(pair[0], pair[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.SDN.Route(packet.MatchAll, 10, []sdn.Hop{{Switch: "s1", OutPort: "src"}}); err != nil {
+		t.Fatal(err)
+	}
+	// 30% loss on the switch-to-source link.
+	if err := b.Net.SetFault("s1", "src", netsim.DropFraction(0.3, 99)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := b.Net.Inject("s1", mbtest.PacketForFlow(i%40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Quiesce(10 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	processed := srcRT.Metrics().Processed
+	if processed == n || processed == 0 {
+		t.Fatalf("fault injection ineffective: processed=%d of %d", processed, n)
+	}
+	if err := b.Ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Ctrl.WaitTxns(10 * time.Second) {
+		t.Fatal("move did not complete")
+	}
+	// Conservation against what was actually processed.
+	if got := dst.TotalPerflowPackets(); got != processed {
+		t.Fatalf("conservation under loss: dst=%d processed=%d", got, processed)
+	}
+	if src.FlowCount() != 0 {
+		t.Fatalf("source flows remain: %d", src.FlowCount())
+	}
+}

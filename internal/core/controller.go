@@ -1,0 +1,448 @@
+// Package core implements the OpenMB middlebox controller — the paper's
+// primary contribution. The controller sits between control applications and
+// middleboxes: it exposes the northbound control API of §5 (readConfig,
+// writeConfig, stats, moveInternal, cloneSupport, mergeInternal) and brokers
+// each call into southbound operations per Figure 5, handling the details
+// applications must not see:
+//
+//   - streaming gets from the source MB and pipelined puts to the
+//     destination, with per-put acknowledgment tracking;
+//   - buffering reprocess events until the put for the state they apply to
+//     has been acknowledged, then forwarding them in order;
+//   - detecting event quiescence (no events for a quiet period) and then
+//     completing the transaction: deleting moved state at the source, or
+//     clearing transaction marks for clones and merges.
+//
+// This centralization is a deliberate design choice (§5): middleboxes never
+// talk to each other, need no peer-communication logic, and the sequencing/
+// failure handling is implemented once.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// Options tunes controller behaviour.
+type Options struct {
+	// QuietPeriod is how long the controller waits without events from a
+	// transaction's source MB before assuming the routing change has
+	// taken effect and completing the transaction (paper default: 5 s;
+	// tests and benchmarks use shorter values).
+	QuietPeriod time.Duration
+	// Compress requests flate compression of state transfers (§8.3).
+	Compress bool
+	// CallTimeout bounds individual southbound calls (default 30 s).
+	CallTimeout time.Duration
+}
+
+func (o *Options) setDefaults() {
+	if o.QuietPeriod == 0 {
+		o.QuietPeriod = 5 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+}
+
+// Controller is the OpenMB middlebox controller.
+type Controller struct {
+	opts     Options
+	listener net.Listener
+
+	mu  sync.Mutex
+	mbs map[string]*mbConn
+	// waiters are woken when a new MB registers.
+	waiters []chan struct{}
+
+	introMu   sync.Mutex
+	introSubs []func(mb string, ev *sbi.Event)
+
+	txnWG sync.WaitGroup
+
+	closed atomic.Bool
+
+	// Metrics.
+	movesStarted    atomic.Uint64
+	eventsForwarded atomic.Uint64
+	eventsBuffered  atomic.Uint64
+	chunksMoved     atomic.Uint64
+	bytesMoved      atomic.Uint64
+}
+
+// NewController creates a controller with the given options.
+func NewController(opts Options) *Controller {
+	opts.setDefaults()
+	return &Controller{opts: opts, mbs: map[string]*mbConn{}}
+}
+
+// Serve starts accepting middlebox connections on addr over the given
+// transport. It returns once the listener is ready; accepting continues in
+// the background until Close.
+func (c *Controller) Serve(tr sbi.Transport, addr string) error {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("core: listen %q: %w", addr, err)
+	}
+	c.mu.Lock()
+	c.listener = l
+	c.mu.Unlock()
+	go c.acceptLoop(l)
+	return nil
+}
+
+func (c *Controller) acceptLoop(l net.Listener) {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleConn(sbi.NewConn(raw))
+	}
+}
+
+func (c *Controller) handleConn(conn *sbi.Conn) {
+	hello, err := conn.Receive()
+	if err != nil || hello.Type != sbi.MsgHello || hello.Name == "" {
+		conn.Close()
+		return
+	}
+	mb := &mbConn{
+		name: hello.Name, kind: hello.Kind,
+		conn: conn, ctrl: c,
+		pending: map[uint64]*call{},
+		keyTxns: map[packet.FlowKey]*txn{},
+		orphans: map[packet.FlowKey][]*sbi.Event{},
+	}
+	c.mu.Lock()
+	if _, dup := c.mbs[mb.name]; dup {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.mbs[mb.name] = mb
+	waiters := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	mb.readLoop()
+	// The MB disconnected: fail outstanding calls and deregister.
+	mb.failAll(errors.New("core: middlebox disconnected"))
+	c.mu.Lock()
+	if c.mbs[mb.name] == mb {
+		delete(c.mbs, mb.name)
+	}
+	c.mu.Unlock()
+}
+
+// Addr returns the listener's address (useful with ":0" listens), or ""
+// before Serve.
+func (c *Controller) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+// WaitForMB blocks until a middlebox named name has registered, or the
+// timeout elapses.
+func (c *Controller) WaitForMB(name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		_, ok := c.mbs[name]
+		var w chan struct{}
+		if !ok {
+			w = make(chan struct{})
+			c.waiters = append(c.waiters, w)
+		}
+		c.mu.Unlock()
+		if ok {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("core: middlebox %q did not register", name)
+		}
+		select {
+		case <-w:
+		case <-time.After(remain):
+			return fmt.Errorf("core: middlebox %q did not register", name)
+		}
+	}
+}
+
+// Middleboxes returns the names of registered middleboxes.
+func (c *Controller) Middleboxes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.mbs))
+	for n := range c.mbs {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (c *Controller) mb(name string) (*mbConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mb, ok := c.mbs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown middlebox %q", name)
+	}
+	return mb, nil
+}
+
+// SubscribeIntrospection registers fn to receive introspection events from
+// all middleboxes. Enable generation per-MB with SetEventFilter.
+func (c *Controller) SubscribeIntrospection(fn func(mb string, ev *sbi.Event)) {
+	c.introMu.Lock()
+	defer c.introMu.Unlock()
+	c.introSubs = append(c.introSubs, fn)
+}
+
+// SetEventFilter enables or disables introspection events on a middlebox
+// for an event-code prefix and flow match (§4.2.2).
+func (c *Controller) SetEventFilter(mbName, codePrefix string, m packet.FieldMatch, enable bool) error {
+	return c.SetEventFilterFor(mbName, codePrefix, m, enable, 0)
+}
+
+// SetEventFilterFor is SetEventFilter with a bounded lifetime: the filter
+// expires after ttl (0 means no expiry). This is §4.2.2's overload
+// protection — "receive all events only for a limited period of time".
+func (c *Controller) SetEventFilterFor(mbName, codePrefix string, m packet.FieldMatch, enable bool, ttl time.Duration) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	_, err = mb.call(&sbi.Message{
+		Type: sbi.MsgRequest, Op: sbi.OpSetEventFilter,
+		Path: codePrefix, Match: m, Enable: enable, TTLNanos: int64(ttl),
+	}, c.opts.CallTimeout)
+	return err
+}
+
+// WaitTxns blocks until all in-flight transactions (including their
+// quiet-period completions) have finished, or the timeout elapses. Intended
+// for tests and benchmarks that need deterministic completion.
+func (c *Controller) WaitTxns(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		c.txnWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Metrics is a snapshot of controller counters.
+type Metrics struct {
+	MovesStarted    uint64
+	EventsForwarded uint64
+	EventsBuffered  uint64
+	ChunksMoved     uint64
+	BytesMoved      uint64
+}
+
+// Metrics returns a snapshot of the controller's counters.
+func (c *Controller) Metrics() Metrics {
+	return Metrics{
+		MovesStarted:    c.movesStarted.Load(),
+		EventsForwarded: c.eventsForwarded.Load(),
+		EventsBuffered:  c.eventsBuffered.Load(),
+		ChunksMoved:     c.chunksMoved.Load(),
+		BytesMoved:      c.bytesMoved.Load(),
+	}
+}
+
+// Close stops the accept loop and disconnects all middleboxes.
+func (c *Controller) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.mu.Lock()
+	l := c.listener
+	mbs := make([]*mbConn, 0, len(c.mbs))
+	for _, mb := range c.mbs {
+		mbs = append(mbs, mb)
+	}
+	c.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, mb := range mbs {
+		mb.conn.Close()
+	}
+}
+
+// mbConn is the controller's view of one connected middlebox. The paper's
+// prototype dedicates one thread per MB to operations and one to events;
+// here a single reader goroutine dispatches responses to per-call channels
+// and events to the transaction router.
+type mbConn struct {
+	name string
+	kind string
+	conn *sbi.Conn
+	ctrl *Controller
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*call
+
+	// Transaction routing state (this MB as a transaction source).
+	txnMu     sync.Mutex
+	keyTxns   map[packet.FlowKey]*txn
+	sharedTxn *txn
+	// orphans holds reprocess events that arrived before the chunk that
+	// registers their key: a packet processed between a chunk's snapshot
+	// and the chunk's transmission puts its event ahead of the chunk on
+	// the wire. The registering transaction adopts them.
+	orphans map[packet.FlowKey][]*sbi.Event
+}
+
+// call is one outstanding request. Streaming responses (get chunks) are
+// delivered through ch before the final done/error message. For gets that
+// are part of a transaction, txn is set so the read loop can register
+// streamed keys before any later event is dispatched.
+type call struct {
+	ch   chan *sbi.Message
+	txn  *txn
+	dead chan struct{}
+}
+
+func (mb *mbConn) newCall(t *txn) (uint64, *call) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.nextID++
+	id := mb.nextID
+	cl := &call{ch: make(chan *sbi.Message, 256), txn: t, dead: make(chan struct{})}
+	mb.pending[id] = cl
+	return id, cl
+}
+
+func (mb *mbConn) dropCall(id uint64) {
+	mb.mu.Lock()
+	cl := mb.pending[id]
+	delete(mb.pending, id)
+	mb.mu.Unlock()
+	if cl != nil {
+		close(cl.dead)
+	}
+}
+
+func (mb *mbConn) failAll(err error) {
+	mb.mu.Lock()
+	pend := mb.pending
+	mb.pending = map[uint64]*call{}
+	mb.mu.Unlock()
+	for _, cl := range pend {
+		close(cl.ch)
+	}
+	_ = err
+}
+
+func (mb *mbConn) readLoop() {
+	for {
+		m, err := mb.conn.Receive()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case sbi.MsgEvent:
+			mb.ctrl.routeEvent(mb, m.Event)
+		case sbi.MsgChunk, sbi.MsgDone, sbi.MsgError:
+			mb.mu.Lock()
+			cl := mb.pending[m.ID]
+			mb.mu.Unlock()
+			if cl == nil {
+				continue
+			}
+			if m.Type == sbi.MsgChunk && cl.txn != nil && m.Chunk != nil {
+				// Register here, on the read loop, so an event
+				// for this key received later on this
+				// connection always finds the transaction.
+				cl.txn.registerChunk(mb, m.Chunk.Key)
+			}
+			// Blocking send: chunk streams may outpace the consumer
+			// (the consumer issues a put per chunk), and dropping a
+			// chunk would lose state. The dead channel unblocks the
+			// loop if the consumer abandoned the call.
+			select {
+			case cl.ch <- m:
+			case <-cl.dead:
+			}
+		}
+	}
+}
+
+// call sends a request and waits for its single done/error reply.
+func (mb *mbConn) call(req *sbi.Message, timeout time.Duration) (*sbi.Message, error) {
+	id, cl := mb.newCall(nil)
+	defer mb.dropCall(id)
+	req.ID = id
+	if err := mb.conn.Send(req); err != nil {
+		return nil, err
+	}
+	select {
+	case m, ok := <-cl.ch:
+		if !ok {
+			return nil, fmt.Errorf("core: %s disconnected during %s", mb.name, req.Op)
+		}
+		if m.Type == sbi.MsgError {
+			return nil, fmt.Errorf("core: %s %s: %s", mb.name, req.Op, m.Error)
+		}
+		return m, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("core: %s %s timed out", mb.name, req.Op)
+	}
+}
+
+// stream sends a get request and invokes onChunk for each streamed chunk
+// until the final done (returning its Count) or an error. If t is non-nil,
+// the read loop registers each chunk's key with t before delivery, so that
+// events behind the chunk on the wire always find the transaction.
+func (mb *mbConn) stream(t *txn, req *sbi.Message, timeout time.Duration, onChunk func(m *sbi.Message) error) (int, error) {
+	id, cl := mb.newCall(t)
+	defer mb.dropCall(id)
+	req.ID = id
+	if err := mb.conn.Send(req); err != nil {
+		return 0, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m, ok := <-cl.ch:
+			if !ok {
+				return 0, fmt.Errorf("core: %s disconnected during %s", mb.name, req.Op)
+			}
+			switch m.Type {
+			case sbi.MsgChunk:
+				if err := onChunk(m); err != nil {
+					return 0, err
+				}
+			case sbi.MsgDone:
+				return m.Count, nil
+			case sbi.MsgError:
+				return 0, fmt.Errorf("core: %s %s: %s", mb.name, req.Op, m.Error)
+			}
+		case <-deadline.C:
+			return 0, fmt.Errorf("core: %s %s timed out", mb.name, req.Op)
+		}
+	}
+}

@@ -1,0 +1,506 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"openmb/internal/core"
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/mbtest"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// rig is a controller with two counter middleboxes attached over an
+// in-memory transport.
+type rig struct {
+	ctrl     *core.Controller
+	tr       *sbi.MemTransport
+	src, dst *mbtest.CounterLogic
+	srcRT    *mbox.Runtime
+	dstRT    *mbox.Runtime
+}
+
+func newRig(t *testing.T, opts core.Options) *rig {
+	t.Helper()
+	if opts.QuietPeriod == 0 {
+		opts.QuietPeriod = 60 * time.Millisecond
+	}
+	r := &rig{
+		ctrl: core.NewController(opts),
+		tr:   sbi.NewMemTransport(),
+		src:  mbtest.NewCounterLogic(16),
+		dst:  mbtest.NewCounterLogic(16),
+	}
+	if err := r.ctrl.Serve(r.tr, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.ctrl.Close)
+	r.srcRT = r.attach(t, "src", r.src)
+	r.dstRT = r.attach(t, "dst", r.dst)
+	return r
+}
+
+func (r *rig) attach(t *testing.T, name string, logic mbox.Logic) *mbox.Runtime {
+	t.Helper()
+	rt := mbox.New(name, logic, mbox.Options{})
+	t.Cleanup(rt.Close)
+	if err := rt.Connect(r.tr, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.WaitForMB(name, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRegistrationAndWaitForMB(t *testing.T) {
+	r := newRig(t, core.Options{})
+	names := r.ctrl.Middleboxes()
+	if len(names) != 2 {
+		t.Fatalf("middleboxes: %v", names)
+	}
+	if err := r.ctrl.WaitForMB("ghost", 30*time.Millisecond); err == nil {
+		t.Fatal("WaitForMB for absent MB should time out")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	r := newRig(t, core.Options{})
+	logic := mbtest.NewCounterLogic(16)
+	rt := mbox.New("src", logic, mbox.Options{}) // name collision
+	defer rt.Close()
+	if err := rt.Connect(r.tr, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	// The controller closes the duplicate connection; the original src
+	// must remain reachable.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := r.ctrl.Stats("src", packet.MatchAll); err != nil {
+		t.Fatalf("original registration broken: %v", err)
+	}
+}
+
+func TestConfigRoundTripAndClone(t *testing.T) {
+	r := newRig(t, core.Options{})
+	if err := r.ctrl.WriteConfig("src", "rules/0", []string{"alert tcp any -> any 80"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.WriteConfig("src", "params/window", []string{"5s"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := r.ctrl.ReadConfig("src", "*")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("read: %v %v", entries, err)
+	}
+	// Step 1 of the paper's control applications: clone configuration.
+	if err := r.ctrl.CloneConfig("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.src.Config().Equal(r.dst.Config()) {
+		t.Fatal("cloned config differs")
+	}
+	if err := r.ctrl.DelConfig("src", "rules/0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.src.Config().Equal(r.dst.Config()) {
+		t.Fatal("delete did not diverge configs")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := newRig(t, core.Options{})
+	r.src.Preload(7)
+	s, err := r.ctrl.Stats("src", packet.MatchAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SupportPerflowChunks != 7 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if _, err := r.ctrl.Stats("ghost", packet.MatchAll); err == nil {
+		t.Fatal("stats on unknown MB should fail")
+	}
+}
+
+func TestMoveInternalBasic(t *testing.T) {
+	r := newRig(t, core.Options{})
+	r.src.Preload(100)
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	if r.dst.Flows() != 100 || r.dst.SumCounts() != 100 {
+		t.Fatalf("dst flows=%d sum=%d", r.dst.Flows(), r.dst.SumCounts())
+	}
+	// After the quiet period the controller deletes the source state.
+	if !r.ctrl.WaitTxns(5 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	if r.src.Flows() != 0 {
+		t.Fatalf("source still holds %d flows after move completion", r.src.Flows())
+	}
+	if r.srcRT.MarkedKeys() != 0 {
+		t.Fatalf("source marks remain: %d", r.srcRT.MarkedKeys())
+	}
+	m := r.ctrl.Metrics()
+	if m.ChunksMoved != 100 || m.MovesStarted != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestMoveInternalSubset(t *testing.T) {
+	r := newRig(t, core.Options{})
+	r.src.Preload(50)                                      // flows 10.0.0.0..10.0.0.49
+	m, _ := packet.ParseFieldMatch("[nw_src=10.0.0.0/28]") // first 16 flows
+	if err := r.ctrl.MoveInternal("src", "dst", m); err != nil {
+		t.Fatal(err)
+	}
+	if r.dst.Flows() != 16 {
+		t.Fatalf("dst flows=%d, want 16", r.dst.Flows())
+	}
+	if !r.ctrl.WaitTxns(5 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	if r.src.Flows() != 34 {
+		t.Fatalf("src flows=%d, want 34", r.src.Flows())
+	}
+}
+
+// TestMoveAtomicityUnderTraffic is the core correctness property of the
+// paper (§4.2.1): packets keep flowing to the source during a move, and no
+// state update may be lost or double-applied. Every packet increments its
+// flow's counter exactly once somewhere; at the end the destination must
+// hold exactly one increment per packet.
+func TestMoveAtomicityUnderTraffic(t *testing.T) {
+	r := newRig(t, core.Options{QuietPeriod: 80 * time.Millisecond})
+	const flows = 40
+	r.src.Preload(flows)
+
+	stop := make(chan struct{})
+	var sent int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.srcRT.HandlePacket(mbtest.PacketForFlow(i % flows))
+			sent++
+			i++
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	time.Sleep(5 * time.Millisecond) // let some traffic land first
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	// The "routing change": traffic to the source stops.
+	close(stop)
+	wg.Wait()
+	if !r.srcRT.Drain(2 * time.Second) {
+		t.Fatal("source did not drain")
+	}
+	if !r.ctrl.WaitTxns(10 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	if !r.dstRT.Drain(2 * time.Second) {
+		t.Fatal("destination did not drain replays")
+	}
+
+	want := uint64(flows + sent) // preloaded counts + one per packet
+	got := r.dst.SumCounts()
+	if got != want {
+		t.Fatalf("atomicity violated: dst sum=%d want=%d (sent=%d, events raised=%d forwarded=%d)",
+			got, want, sent, r.srcRT.Metrics().EventsRaised, r.ctrl.Metrics().EventsForwarded)
+	}
+	if r.src.Flows() != 0 {
+		t.Fatalf("src flows remain: %d", r.src.Flows())
+	}
+}
+
+func TestMoveEventsAreBufferedUntilPutAck(t *testing.T) {
+	r := newRig(t, core.Options{QuietPeriod: 80 * time.Millisecond})
+	const flows = 20
+	r.src.Preload(flows)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.srcRT.HandlePacket(mbtest.PacketForFlow(i % flows))
+				i++
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	r.ctrl.WaitTxns(10 * time.Second)
+	m := r.ctrl.Metrics()
+	if m.EventsForwarded == 0 {
+		t.Fatal("no events forwarded during move under traffic")
+	}
+}
+
+func TestCloneSupportSharedState(t *testing.T) {
+	r := newRig(t, core.Options{QuietPeriod: 60 * time.Millisecond})
+	for i := 0; i < 25; i++ {
+		r.srcRT.HandlePacket(mbtest.PacketForFlow(i))
+	}
+	r.srcRT.Drain(time.Second)
+	if err := r.ctrl.CloneSupport("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.dst.SharedSupport(); got != 25 {
+		t.Fatalf("cloned shared supporting state: %d, want 25", got)
+	}
+	// Clone must NOT delete or alter the source.
+	if got := r.src.SharedSupport(); got != 25 {
+		t.Fatalf("source shared state changed: %d", got)
+	}
+	// Reporting state must not be cloned (double-reporting, §4.1.3).
+	if got := r.dst.SharedReport(); got != 0 {
+		t.Fatalf("shared reporting state cloned: %d", got)
+	}
+	if !r.ctrl.WaitTxns(5 * time.Second) {
+		t.Fatal("clone transaction did not complete")
+	}
+}
+
+func TestCloneForwardsEventsUntilQuiet(t *testing.T) {
+	r := newRig(t, core.Options{QuietPeriod: 100 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		r.srcRT.HandlePacket(mbtest.PacketForFlow(i))
+	}
+	r.srcRT.Drain(time.Second)
+	if err := r.ctrl.CloneSupport("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic continues at the source during the transaction window; the
+	// destination's clone must track it via replayed events.
+	for i := 0; i < 15; i++ {
+		r.srcRT.HandlePacket(mbtest.PacketForFlow(i))
+	}
+	r.srcRT.Drain(time.Second)
+	if !r.ctrl.WaitTxns(10 * time.Second) {
+		t.Fatal("clone transaction did not complete")
+	}
+	r.dstRT.Drain(time.Second)
+	if got := r.dst.SharedSupport(); got != 25 {
+		t.Fatalf("clone not kept in sync: dst=%d want 25", got)
+	}
+	// After the transaction ends, source updates no longer propagate.
+	r.srcRT.HandlePacket(mbtest.PacketForFlow(0))
+	r.srcRT.Drain(time.Second)
+	time.Sleep(20 * time.Millisecond)
+	r.dstRT.Drain(time.Second)
+	if got := r.dst.SharedSupport(); got != 25 {
+		t.Fatalf("events still forwarded after transaction end: dst=%d", got)
+	}
+}
+
+func TestMergeInternal(t *testing.T) {
+	r := newRig(t, core.Options{QuietPeriod: 60 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		r.srcRT.HandlePacket(mbtest.PacketForFlow(i))
+	}
+	for i := 0; i < 7; i++ {
+		r.dstRT.HandlePacket(mbtest.PacketForFlow(100 + i))
+	}
+	r.srcRT.Drain(time.Second)
+	r.dstRT.Drain(time.Second)
+	if err := r.ctrl.MergeInternal("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	// Merge sums both shared supporting and shared reporting state.
+	if got := r.dst.SharedSupport(); got != 17 {
+		t.Fatalf("merged shared supporting: %d, want 17", got)
+	}
+	if got := r.dst.SharedReport(); got != 17 {
+		t.Fatalf("merged shared reporting: %d, want 17", got)
+	}
+	if !r.ctrl.WaitTxns(5 * time.Second) {
+		t.Fatal("merge transaction did not complete")
+	}
+}
+
+func TestConcurrentMoves(t *testing.T) {
+	opts := core.Options{QuietPeriod: 60 * time.Millisecond}
+	r := newRig(t, opts)
+	// Additional MB pairs.
+	logics := make([]*mbtest.CounterLogic, 6)
+	for i := range logics {
+		logics[i] = mbtest.NewCounterLogic(16)
+		r.attach(t, "mb"+string(rune('0'+i)), logics[i])
+	}
+	for i := 0; i < 3; i++ {
+		logics[i*2].Preload(200)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.ctrl.MoveInternal("mb"+string(rune('0'+i*2)), "mb"+string(rune('0'+i*2+1)), packet.MatchAll)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := logics[i*2+1].Flows(); got != 200 {
+			t.Fatalf("pair %d: dst flows=%d", i, got)
+		}
+	}
+	if !r.ctrl.WaitTxns(10 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	r := newRig(t, core.Options{})
+	if err := r.ctrl.MoveInternal("ghost", "dst", packet.MatchAll); err == nil {
+		t.Fatal("move from unknown MB should fail")
+	}
+	if err := r.ctrl.MoveInternal("src", "ghost", packet.MatchAll); err == nil {
+		t.Fatal("move to unknown MB should fail")
+	}
+	// Granularity error propagates from the source MB.
+	m, _ := packet.ParseFieldMatch("[tp_dst=80]")
+	if err := r.ctrl.MoveInternal("src", "dst", m); err == nil {
+		t.Fatal("finer-than-keying move should fail")
+	}
+}
+
+func TestIntrospectionEndToEnd(t *testing.T) {
+	r := newRig(t, core.Options{})
+	var mu sync.Mutex
+	var got []*sbi.Event
+	r.ctrl.SubscribeIntrospection(func(mb string, ev *sbi.Event) {
+		if mb == "src" {
+			mu.Lock()
+			got = append(got, ev)
+			mu.Unlock()
+		}
+	})
+	if err := r.ctrl.SetEventFilter("src", "counter.", packet.MatchAll, true); err != nil {
+		t.Fatal(err)
+	}
+	r.srcRT.HandlePacket(mbtest.PacketForFlow(1))
+	r.srcRT.Drain(time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no introspection event delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Code != "counter.flow.seen" {
+		t.Fatalf("event: %+v", got[0])
+	}
+}
+
+func TestMoveWithCompression(t *testing.T) {
+	r := newRig(t, core.Options{Compress: true, QuietPeriod: 60 * time.Millisecond})
+	r.src.Preload(50)
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	if r.dst.Flows() != 50 || r.dst.SumCounts() != 50 {
+		t.Fatalf("compressed move: flows=%d sum=%d", r.dst.Flows(), r.dst.SumCounts())
+	}
+	r.ctrl.WaitTxns(5 * time.Second)
+}
+
+func TestMBDisconnectFailsCalls(t *testing.T) {
+	r := newRig(t, core.Options{})
+	r.src.Preload(10)
+	r.srcRT.Close()
+	time.Sleep(20 * time.Millisecond)
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err == nil {
+		t.Fatal("move from disconnected MB should fail")
+	}
+}
+
+func TestMoveEmptyMatchIsFine(t *testing.T) {
+	// moveInternal(src, dst, []) with no state present: valid, moves
+	// nothing (the scale-down app's first step when no flows exist).
+	r := newRig(t, core.Options{QuietPeriod: 40 * time.Millisecond})
+	if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	if r.dst.Flows() != 0 {
+		t.Fatal("phantom state appeared")
+	}
+	r.ctrl.WaitTxns(5 * time.Second)
+}
+
+func TestEventFilterTTLExpires(t *testing.T) {
+	r := newRig(t, core.Options{})
+	var mu sync.Mutex
+	var got int
+	r.ctrl.SubscribeIntrospection(func(mb string, ev *sbi.Event) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+	// Enable for a short window only (§4.2.2's overload protection).
+	if err := r.ctrl.SetEventFilterFor("src", "counter.", packet.MatchAll, true, 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.srcRT.HandlePacket(mbtest.PacketForFlow(1))
+	r.srcRT.Drain(time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no event within the filter window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// After the TTL, events stop without any disable call.
+	time.Sleep(80 * time.Millisecond)
+	r.srcRT.HandlePacket(mbtest.PacketForFlow(1))
+	r.srcRT.Drain(time.Second)
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 1 {
+		t.Fatalf("events after filter expiry: %d", got)
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// ReadConfig implements the northbound readConfig(SrcMB, HierarchicalKey):
+// it returns the configuration leaves under path ("*" or "" for all).
+func (c *Controller) ReadConfig(mbName, path string) ([]state.Entry, error) {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpGetConfig, Path: path}, c.opts.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return m.Entries, nil
+}
+
+// WriteConfig implements writeConfig(DstMB, HierarchicalKey, values).
+func (c *Controller) WriteConfig(mbName, path string, values []string) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: path, Values: values}, c.opts.CallTimeout)
+	return err
+}
+
+// WriteConfigAll installs a full set of configuration entries on a
+// middlebox: writeConfig(DstMB, "*", values), the configuration-cloning step
+// of the control applications (§6).
+func (c *Controller) WriteConfigAll(mbName string, entries []state.Entry) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: "*", Entries: entries}, c.opts.CallTimeout)
+	return err
+}
+
+// DelConfig implements delConfig(DstMB, HierarchicalKey).
+func (c *Controller) DelConfig(mbName, path string) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelConfig, Path: path}, c.opts.CallTimeout)
+	return err
+}
+
+// CloneConfig copies all configuration from one middlebox to another — the
+// composition of readConfig and writeConfig the paper suggests (§5).
+func (c *Controller) CloneConfig(srcMB, dstMB string) error {
+	entries, err := c.ReadConfig(srcMB, "*")
+	if err != nil {
+		return err
+	}
+	return c.WriteConfigAll(dstMB, entries)
+}
+
+// Stats implements stats(SrcMB, HeaderFieldList): how much shared and
+// per-flow supporting and reporting state exists for the given key.
+func (c *Controller) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, error) {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return sbi.StatsReply{}, err
+	}
+	reply, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpStats, Match: m}, c.opts.CallTimeout)
+	if err != nil {
+		return sbi.StatsReply{}, err
+	}
+	if reply.Stats == nil {
+		return sbi.StatsReply{}, fmt.Errorf("core: %s returned no stats", mbName)
+	}
+	return *reply.Stats, nil
+}
+
+// txn tracks one move/clone/merge transaction: which keys have outstanding
+// puts, the events buffered against them, and when the source last raised an
+// event (for quiet-period completion).
+type txn struct {
+	ctrl *Controller
+	src  *mbConn
+	dst  *mbConn
+
+	mu sync.Mutex
+	// pendingPuts counts unacknowledged puts per key.
+	pendingPuts map[packet.FlowKey]int
+	// buffered holds events per key until the key's puts are ACKed.
+	buffered map[packet.FlowKey][]*sbi.Event
+	// sharedPending counts unacknowledged shared puts; sharedBuffered
+	// holds shared-state events meanwhile.
+	sharedPending  int
+	sharedBuffered []*sbi.Event
+	lastEvent      time.Time
+	sawEvent       bool
+	ended          bool
+}
+
+func newTxn(c *Controller, src, dst *mbConn) *txn {
+	return &txn{
+		ctrl: c, src: src, dst: dst,
+		pendingPuts: map[packet.FlowKey]int{},
+		buffered:    map[packet.FlowKey][]*sbi.Event{},
+		lastEvent:   time.Now(),
+	}
+}
+
+// registerChunk attaches the txn to the source's routing tables for key and
+// adopts any orphaned events that raced ahead of the chunk. Called from the
+// source's read loop, before the chunk is delivered to the move consumer, so
+// event routing can never miss the registration.
+func (t *txn) registerChunk(mb *mbConn, key packet.FlowKey) {
+	mb.txnMu.Lock()
+	mb.keyTxns[key] = t
+	adopted := mb.orphans[key]
+	delete(mb.orphans, key)
+	mb.txnMu.Unlock()
+	t.mu.Lock()
+	t.pendingPuts[key]++
+	if len(adopted) > 0 {
+		t.buffered[key] = append(t.buffered[key], adopted...)
+		t.ctrl.eventsBuffered.Add(uint64(len(adopted)))
+	}
+	t.mu.Unlock()
+}
+
+func (t *txn) registerShared() {
+	t.src.txnMu.Lock()
+	t.src.sharedTxn = t
+	t.src.txnMu.Unlock()
+	t.mu.Lock()
+	t.sharedPending++
+	t.mu.Unlock()
+}
+
+// ackPut marks one put for key acknowledged and flushes buffered events.
+func (t *txn) ackPut(key packet.FlowKey) {
+	t.mu.Lock()
+	t.pendingPuts[key]--
+	var flush []*sbi.Event
+	if t.pendingPuts[key] <= 0 {
+		flush = t.buffered[key]
+		delete(t.buffered, key)
+	}
+	t.mu.Unlock()
+	t.forward(flush)
+}
+
+func (t *txn) ackSharedPut() {
+	t.mu.Lock()
+	t.sharedPending--
+	var flush []*sbi.Event
+	if t.sharedPending <= 0 {
+		flush = t.sharedBuffered
+		t.sharedBuffered = nil
+	}
+	t.mu.Unlock()
+	t.forward(flush)
+}
+
+func (t *txn) forward(evs []*sbi.Event) {
+	for _, ev := range evs {
+		t.ctrl.eventsForwarded.Add(1)
+		_ = t.dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
+	}
+}
+
+// handleEvent routes one reprocess event from the source: buffer while the
+// corresponding put is outstanding, forward (in order) otherwise.
+func (t *txn) handleEvent(ev *sbi.Event) {
+	t.mu.Lock()
+	t.lastEvent = time.Now()
+	t.sawEvent = true
+	if ev.Shared {
+		if t.sharedPending > 0 || len(t.sharedBuffered) > 0 {
+			t.sharedBuffered = append(t.sharedBuffered, ev)
+			t.ctrl.eventsBuffered.Add(1)
+			t.mu.Unlock()
+			return
+		}
+	} else if t.pendingPuts[ev.Key] > 0 || len(t.buffered[ev.Key]) > 0 {
+		t.buffered[ev.Key] = append(t.buffered[ev.Key], ev)
+		t.ctrl.eventsBuffered.Add(1)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.ctrl.eventsForwarded.Add(1)
+	_ = t.dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
+}
+
+// quietSince reports whether no events have arrived for d.
+func (t *txn) quietSince(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Since(t.lastEvent) >= d
+}
+
+// detach removes the txn from the source's routing tables. When the source
+// has no remaining transactions, stale orphaned events are discarded.
+func (t *txn) detach() {
+	t.src.txnMu.Lock()
+	for k, owner := range t.src.keyTxns {
+		if owner == t {
+			delete(t.src.keyTxns, k)
+		}
+	}
+	if t.src.sharedTxn == t {
+		t.src.sharedTxn = nil
+	}
+	if len(t.src.keyTxns) == 0 && t.src.sharedTxn == nil {
+		t.src.orphans = map[packet.FlowKey][]*sbi.Event{}
+	}
+	t.src.txnMu.Unlock()
+}
+
+// routeEvent dispatches an MB-raised event: introspection events go to
+// subscribers; reprocess events go to the transaction that owns the state.
+func (c *Controller) routeEvent(src *mbConn, ev *sbi.Event) {
+	if ev == nil {
+		return
+	}
+	if ev.Kind == sbi.EventIntrospection {
+		c.introMu.Lock()
+		subs := append([]func(string, *sbi.Event){}, c.introSubs...)
+		c.introMu.Unlock()
+		for _, fn := range subs {
+			fn(src.name, ev)
+		}
+		return
+	}
+	src.txnMu.Lock()
+	var t *txn
+	if ev.Shared {
+		t = src.sharedTxn
+	} else {
+		t = src.keyTxns[ev.Key]
+	}
+	src.txnMu.Unlock()
+	if t == nil {
+		if ev.Kind == sbi.EventReprocess && !ev.Shared {
+			// The event may have raced ahead of the chunk that
+			// registers its key (a packet processed between the
+			// chunk's snapshot and its transmission). Hold it for
+			// adoption; bounded so stragglers from completed
+			// transactions cannot accumulate.
+			src.txnMu.Lock()
+			if len(src.orphans[ev.Key]) < 256 {
+				src.orphans[ev.Key] = append(src.orphans[ev.Key], ev)
+			}
+			src.txnMu.Unlock()
+		}
+		return
+	}
+	t.handleEvent(ev)
+}
+
+// MoveInternal implements moveInternal(SrcMB, DstMB, HeaderFieldList):
+// move all per-flow supporting and reporting state matching m from src to
+// dst, per the Figure 5 sequence. It returns once every exported chunk has
+// been installed (put-ACKed) at the destination. Event forwarding continues
+// in the background; once the source goes quiet for the configured period,
+// the controller deletes the moved state at the source, completing the move.
+func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) error {
+	src, err := c.mb(srcMB)
+	if err != nil {
+		return err
+	}
+	dst, err := c.mb(dstMB)
+	if err != nil {
+		return err
+	}
+	c.movesStarted.Add(1)
+	t := newTxn(c, src, dst)
+
+	var putWG sync.WaitGroup
+	errCh := make(chan error, 64)
+
+	// One get per state class; the read loop registers each streamed
+	// chunk (so events start buffering), then the chunk is put to the
+	// destination; ACKs release the buffered events.
+	movePair := func(getOp, putOp sbi.Op) {
+		_, err := src.stream(t, &sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: m, Compressed: c.opts.Compress}, c.opts.CallTimeout, func(chunk *sbi.Message) error {
+			key := chunk.Chunk.Key
+			c.chunksMoved.Add(1)
+			c.bytesMoved.Add(uint64(len(chunk.Chunk.Blob)))
+			putWG.Add(1)
+			go func() {
+				defer putWG.Done()
+				_, perr := dst.call(&sbi.Message{Type: sbi.MsgRequest, Op: putOp, Chunk: chunk.Chunk, Compressed: chunk.Compressed}, c.opts.CallTimeout)
+				if perr != nil {
+					select {
+					case errCh <- perr:
+					default:
+					}
+				}
+				t.ackPut(key)
+			}()
+			return nil
+		})
+		if err != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}
+
+	var getWG sync.WaitGroup
+	getWG.Add(2)
+	go func() { defer getWG.Done(); movePair(sbi.OpGetSupportPerflow, sbi.OpPutSupportPerflow) }()
+	go func() { defer getWG.Done(); movePair(sbi.OpGetReportPerflow, sbi.OpPutReportPerflow) }()
+	getWG.Wait()
+	putWG.Wait()
+
+	select {
+	case err := <-errCh:
+		t.detach()
+		return err
+	default:
+	}
+
+	// Background completion: wait for event quiescence, then delete the
+	// moved state at the source (which also clears its transaction
+	// marks), and detach the event routing.
+	c.txnWG.Add(1)
+	go func() {
+		defer c.txnWG.Done()
+		for !t.quietSince(c.opts.QuietPeriod) {
+			time.Sleep(c.opts.QuietPeriod / 5)
+		}
+		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelSupportPerflow, Match: m}, c.opts.CallTimeout)
+		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelReportPerflow, Match: m}, c.opts.CallTimeout)
+		t.detach()
+	}()
+	return nil
+}
+
+// CloneSupport implements cloneSupport(SrcMB, DstMB): copy the shared
+// supporting state from src to dst (§5). Reprocess events raised by the
+// source while the clone is in progress are forwarded so the copy stays
+// up to date (§6.1); no delete is issued when events stop — the source
+// keeps its state. The transaction ends (marks cleared at the source) after
+// the quiet period.
+func (c *Controller) CloneSupport(srcMB, dstMB string) error {
+	return c.sharedTransfer(srcMB, dstMB, []sbi.Op{sbi.OpGetSupportShared}, []sbi.Op{sbi.OpPutSupportShared})
+}
+
+// MergeInternal implements mergeInternal(SrcMB, DstMB): merge the shared
+// supporting and reporting state of src into dst. The destination applies
+// its own merge semantics (§4.1.2, §4.1.3) — e.g. summing counters. No
+// delete is issued; the source is typically deprecated by the application
+// afterwards (scale-down, §6.2).
+func (c *Controller) MergeInternal(srcMB, dstMB string) error {
+	return c.sharedTransfer(srcMB, dstMB,
+		[]sbi.Op{sbi.OpGetSupportShared, sbi.OpGetReportShared},
+		[]sbi.Op{sbi.OpPutSupportShared, sbi.OpPutReportShared})
+}
+
+func (c *Controller) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op) error {
+	src, err := c.mb(srcMB)
+	if err != nil {
+		return err
+	}
+	dst, err := c.mb(dstMB)
+	if err != nil {
+		return err
+	}
+	t := newTxn(c, src, dst)
+	for i, getOp := range getOps {
+		t.registerShared()
+		reply, err := src.call(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Compressed: c.opts.Compress}, c.opts.CallTimeout)
+		if err != nil {
+			t.detach()
+			return err
+		}
+		if reply.Count == 0 && len(reply.Blob) == 0 {
+			// The source maintains no shared state of this class:
+			// nothing to transfer (and no mark was set).
+			t.ackSharedPut()
+			continue
+		}
+		c.bytesMoved.Add(uint64(len(reply.Blob)))
+		_, err = dst.call(&sbi.Message{Type: sbi.MsgRequest, Op: putOps[i], Blob: reply.Blob, Compressed: reply.Compressed}, c.opts.CallTimeout)
+		if err != nil {
+			t.detach()
+			return err
+		}
+		t.ackSharedPut()
+	}
+	// Background completion: after quiescence, end the transaction at the
+	// source so it stops raising events; state is left in place.
+	c.txnWG.Add(1)
+	go func() {
+		defer c.txnWG.Done()
+		for !t.quietSince(c.opts.QuietPeriod) {
+			time.Sleep(c.opts.QuietPeriod / 5)
+		}
+		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpEndTransaction, Enable: true}, c.opts.CallTimeout)
+		t.detach()
+	}()
+	return nil
+}

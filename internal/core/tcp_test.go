@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"openmb/internal/core"
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/mbtest"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// TestEndToEndOverTCP runs the full controller/middlebox protocol over real
+// TCP sockets — the deployment mode of cmd/openmb-controller and
+// cmd/openmb-mb — including a move with live traffic and events.
+func TestEndToEndOverTCP(t *testing.T) {
+	ctrl := core.NewController(core.Options{QuietPeriod: 80 * time.Millisecond})
+	tr := sbi.TCPTransport{}
+	if err := ctrl.Serve(tr, "127.0.0.1:0"); err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer ctrl.Close()
+	addr := ctrl.Addr()
+	if addr == "" {
+		t.Fatal("controller has no address")
+	}
+
+	src := mbtest.NewCounterLogic(202)
+	dst := mbtest.NewCounterLogic(202)
+	srcRT := mbox.New("src", src, mbox.Options{})
+	dstRT := mbox.New("dst", dst, mbox.Options{})
+	defer srcRT.Close()
+	defer dstRT.Close()
+	if err := srcRT.Connect(tr, addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := dstRT.Connect(tr, addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.WaitForMB("src", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.WaitForMB("dst", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const flows = 30
+	src.Preload(flows)
+
+	// Config round trip over TCP.
+	if err := ctrl.WriteConfig("src", "rules/0", []string{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.CloneConfig("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Config().Equal(dst.Config()) {
+		t.Fatal("config clone over TCP failed")
+	}
+
+	// Move with live traffic: atomicity over a real network stack.
+	stop := make(chan struct{})
+	var sent int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srcRT.HandlePacket(mbtest.PacketForFlow(i % flows))
+				sent++
+				i++
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	if err := ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if !srcRT.Drain(5 * time.Second) {
+		t.Fatal("src drain")
+	}
+	if !ctrl.WaitTxns(15 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	if !dstRT.Drain(5 * time.Second) {
+		t.Fatal("dst drain")
+	}
+	want := uint64(flows + sent)
+	if got := dst.SumCounts(); got != want {
+		t.Fatalf("TCP atomicity: dst=%d want=%d", got, want)
+	}
+	if src.Flows() != 0 {
+		t.Fatalf("src flows remain: %d", src.Flows())
+	}
+}
+
+// TestQuietPeriodSweep verifies that conservation holds across quiet-period
+// settings: a short quiet period deletes source state earlier, but every
+// packet must still be counted exactly once at the destination.
+func TestQuietPeriodSweep(t *testing.T) {
+	for _, quiet := range []time.Duration{20 * time.Millisecond, 60 * time.Millisecond, 150 * time.Millisecond} {
+		quiet := quiet
+		t.Run(quiet.String(), func(t *testing.T) {
+			r := newRig(t, core.Options{QuietPeriod: quiet})
+			const flows = 25
+			r.src.Preload(flows)
+			stop := make(chan struct{})
+			var sent int
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						r.srcRT.HandlePacket(mbtest.PacketForFlow(i % flows))
+						sent++
+						i++
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+			}()
+			if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+			r.srcRT.Drain(5 * time.Second)
+			if !r.ctrl.WaitTxns(15 * time.Second) {
+				t.Fatal("transactions did not complete")
+			}
+			r.dstRT.Drain(5 * time.Second)
+			// Counts may now be split between dst (moved + replayed)
+			// and src (packets that arrived after the delete created
+			// fresh records) — but never lost or duplicated.
+			total := r.dst.SumCounts() + r.src.SumCounts()
+			if total != uint64(flows+sent) {
+				t.Fatalf("quiet=%v: total=%d want=%d (dst=%d src=%d)",
+					quiet, total, flows+sent, r.dst.SumCounts(), r.src.SumCounts())
+			}
+		})
+	}
+}
+
+// TestMovePropertyMatchingSubset is a property-style test: for arbitrary
+// prefix lengths, MoveInternal relocates exactly the matching flows and
+// leaves the rest untouched.
+func TestMovePropertyMatchingSubset(t *testing.T) {
+	for _, bits := range []int{26, 27, 28, 30} {
+		bits := bits
+		t.Run(packetPrefix(bits), func(t *testing.T) {
+			r := newRig(t, core.Options{QuietPeriod: 40 * time.Millisecond})
+			const flows = 64
+			keys := r.src.Preload(flows)
+			m, err := packet.ParseFieldMatch("[nw_src=10.0.0.0/" + itoa(bits) + "]")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMoved := 0
+			for _, k := range keys {
+				if m.MatchEither(k) {
+					wantMoved++
+				}
+			}
+			if err := r.ctrl.MoveInternal("src", "dst", m); err != nil {
+				t.Fatal(err)
+			}
+			if !r.ctrl.WaitTxns(10 * time.Second) {
+				t.Fatal("transactions did not complete")
+			}
+			if got := r.dst.Flows(); got != wantMoved {
+				t.Fatalf("/%d: moved %d flows, want %d", bits, got, wantMoved)
+			}
+			if got := r.src.Flows(); got != flows-wantMoved {
+				t.Fatalf("/%d: src retains %d flows, want %d", bits, got, flows-wantMoved)
+			}
+		})
+	}
+}
+
+func packetPrefix(bits int) string { return "/" + itoa(bits) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

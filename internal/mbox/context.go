@@ -1,0 +1,132 @@
+package mbox
+
+import (
+	"openmb/internal/packet"
+	"openmb/internal/state"
+)
+
+// Context carries per-packet processing state between the runtime and the
+// middlebox logic. The logic reports which pieces of state it updated
+// (Touch/TouchShared) and performs external side effects through it
+// (Emit/Log); during replay of a reprocess event the runtime suppresses the
+// side effects while still applying state updates — atomicity requirement
+// (ii) of §4.2.1.
+type Context struct {
+	rt *Runtime
+	// Replay is true when the packet is being re-processed from an event
+	// raised by a peer middlebox. Logic may consult it for rare cases
+	// (e.g. suppressing retransmission heuristics) but normally need not.
+	Replay bool
+	// replayShared records whether the originating transaction covered
+	// shared state; see SkipShared and SkipPerflow.
+	replayShared bool
+
+	// raise records whether a reprocess event must be raised for this
+	// packet, and for which state. The decision is made inside Touch,
+	// which the logic calls while holding its own lock — making the
+	// moved-mark check atomic with the state update it reports.
+	raise       bool
+	raiseKey    packet.FlowKey
+	raiseClass  state.Class
+	raiseShared bool
+	emitted     int
+}
+
+type touchRef struct {
+	key   packet.FlowKey
+	class state.Class
+}
+
+// Touch records that the logic created or updated the per-flow state
+// identified by key (at the middlebox's own keying granularity) of the given
+// class. Call it while holding the lock that serializes this state against
+// export: if the state is currently part of a move or clone transaction, the
+// runtime will raise a reprocess event after the packet completes.
+func (c *Context) Touch(class state.Class, key packet.FlowKey) {
+	if c.Replay || c.raise {
+		return
+	}
+	c.rt.marksMu.Lock()
+	moved := c.rt.movedKeys[touchRef{key: key, class: class}]
+	c.rt.marksMu.Unlock()
+	if moved {
+		c.raise = true
+		c.raiseKey = key
+		c.raiseClass = class
+		c.raiseShared = false
+	}
+}
+
+// TouchShared records that the logic updated shared state of the given
+// class, under the same locking discipline as Touch.
+func (c *Context) TouchShared(class state.Class) {
+	if c.Replay || c.raise {
+		return
+	}
+	c.rt.marksMu.Lock()
+	moved := c.rt.sharedMoved[class]
+	c.rt.marksMu.Unlock()
+	if moved {
+		c.raise = true
+		c.raiseClass = class
+		c.raiseShared = true
+	}
+}
+
+// Emit sends a packet onward into the network — an external side effect,
+// suppressed during replay.
+func (c *Context) Emit(p *packet.Packet) {
+	c.emitted++
+	if c.Replay {
+		c.rt.suppressedEmits.Add(1)
+		return
+	}
+	c.rt.forwardPacket(p)
+}
+
+// Log appends a line to the middlebox's log (conn.log / http.log style) —
+// an external side effect, suppressed during replay.
+func (c *Context) Log(stream, line string) {
+	if c.Replay {
+		c.rt.suppressedLogs.Add(1)
+		return
+	}
+	c.rt.writeLog(stream, line)
+}
+
+// SkipShared reports whether the logic must skip updates to SHARED state
+// for this packet. True during replay of a per-flow transaction's event:
+// the packet was already counted in the source's shared state, which is not
+// part of the transaction — updating it here would double-report (§4.1.3).
+func (c *Context) SkipShared() bool { return c.Replay && !c.replayShared }
+
+// SkipPerflow reports whether the logic must skip updates to PER-FLOW state
+// for this packet. True during replay of a shared transaction's event (e.g.
+// an RE cache clone): the flow itself still lives at the source, and
+// creating per-flow state here would fabricate flows that were never
+// routed to this instance.
+func (c *Context) SkipPerflow() bool { return c.Replay && c.replayShared }
+
+// NewBenchContext returns a Context backed by a detached runtime, for
+// benchmarking or fuzzing Logic implementations directly, without a packet
+// loop or controller connection. Side effects are recorded but go nowhere.
+func NewBenchContext() *Context {
+	rt := &Runtime{
+		movedKeys:   map[touchRef]bool{},
+		sharedMoved: map[state.Class]bool{},
+		logs:        map[string][]string{},
+	}
+	return &Context{rt: rt}
+}
+
+// RaiseIntrospection raises an introspection event (§4.2.2) announcing that
+// the middlebox created or updated state identified by key. code is the
+// MB-specific event code (e.g. "nat.mapping.created"); values carry optional
+// MB-specific details. The event is delivered only if a matching filter has
+// been enabled, and never during replay.
+func (c *Context) RaiseIntrospection(code string, key packet.FlowKey, values map[string]string) {
+	if c.Replay {
+		return
+	}
+	c.rt.raiseIntrospection(code, key, values)
+}

@@ -1,0 +1,14 @@
+package mbox
+
+// Test hooks exposing internals to the external test package.
+
+// SetActiveOpsForTest adjusts the active-operation counter, letting tests
+// exercise the during-operation latency bucket without a live southbound
+// call.
+func SetActiveOpsForTest(rt *Runtime, delta int32) { rt.activeOps.Add(delta) }
+
+// DeflateForTest exposes the wire compression helper.
+func DeflateForTest(b []byte) []byte { return deflate(b) }
+
+// InflateForTest exposes the wire decompression helper.
+func InflateForTest(b []byte) ([]byte, error) { return inflate(b) }

@@ -1,0 +1,146 @@
+package ips
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// HTTPAnalyzer is one node of the per-connection analyzer tree: it parses
+// request lines from originator payloads and status lines from responder
+// payloads, pairing them into http.log entries. Parser buffers and the
+// pending-request queue are part of the serialized state — moving a
+// connection mid-request must not lose the half-parsed request (this is the
+// "deep, detailed information" §4.1.2 describes: portions of payloads,
+// header fields, parser positions).
+type HTTPAnalyzer struct {
+	// ReqBuf and RespBuf hold bytes not yet terminated by CRLF.
+	ReqBuf  []byte `json:"reqBuf,omitempty"`
+	RespBuf []byte `json:"respBuf,omitempty"`
+	// Pending queues parsed requests awaiting their response, in order.
+	Pending []HTTPRequest `json:"pending,omitempty"`
+	// Requests and Responses count completed parses.
+	Requests  uint64 `json:"requests"`
+	Responses uint64 `json:"responses"`
+}
+
+// HTTPRequest is one parsed request line.
+type HTTPRequest struct {
+	Method string `json:"method"`
+	URI    string `json:"uri"`
+	Host   string `json:"host,omitempty"`
+}
+
+const maxHTTPBuf = 4096
+
+// feedOrig consumes originator-to-responder bytes, returning newly completed
+// requests.
+func (h *HTTPAnalyzer) feedOrig(payload []byte) []HTTPRequest {
+	h.ReqBuf = appendBounded(h.ReqBuf, payload)
+	var done []HTTPRequest
+	for {
+		line, rest, ok := cutLine(h.ReqBuf)
+		if !ok {
+			break
+		}
+		h.ReqBuf = rest
+		if req, ok := parseRequestLine(line); ok {
+			h.Pending = append(h.Pending, req)
+			h.Requests++
+			done = append(done, req)
+		} else if host, ok := parseHostHeader(line); ok && len(h.Pending) > 0 {
+			h.Pending[len(h.Pending)-1].Host = host
+		}
+	}
+	return done
+}
+
+// httpLogEntry is a completed request/response pair.
+type httpLogEntry struct {
+	Req    HTTPRequest
+	Status int
+}
+
+// feedResp consumes responder-to-originator bytes, returning completed
+// request/response pairs.
+func (h *HTTPAnalyzer) feedResp(payload []byte) []httpLogEntry {
+	h.RespBuf = appendBounded(h.RespBuf, payload)
+	var done []httpLogEntry
+	for {
+		line, rest, ok := cutLine(h.RespBuf)
+		if !ok {
+			break
+		}
+		h.RespBuf = rest
+		status, ok := parseStatusLine(line)
+		if !ok {
+			continue
+		}
+		h.Responses++
+		entry := httpLogEntry{Status: status}
+		if len(h.Pending) > 0 {
+			entry.Req = h.Pending[0]
+			h.Pending = h.Pending[1:]
+		}
+		done = append(done, entry)
+	}
+	return done
+}
+
+func appendBounded(buf, data []byte) []byte {
+	buf = append(buf, data...)
+	if len(buf) > maxHTTPBuf {
+		buf = buf[len(buf)-maxHTTPBuf:]
+	}
+	return buf
+}
+
+// cutLine splits off the first CRLF- or LF-terminated line.
+func cutLine(buf []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return nil, buf, false
+	}
+	line = buf[:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, buf[i+1:], true
+}
+
+var httpMethods = map[string]bool{
+	"GET": true, "POST": true, "HEAD": true, "PUT": true,
+	"DELETE": true, "OPTIONS": true, "PATCH": true,
+}
+
+func parseRequestLine(line []byte) (HTTPRequest, bool) {
+	parts := strings.SplitN(string(line), " ", 3)
+	if len(parts) != 3 || !httpMethods[parts[0]] || !strings.HasPrefix(parts[2], "HTTP/") {
+		return HTTPRequest{}, false
+	}
+	return HTTPRequest{Method: parts[0], URI: parts[1]}, true
+}
+
+func parseHostHeader(line []byte) (string, bool) {
+	s := string(line)
+	if !strings.HasPrefix(s, "Host:") && !strings.HasPrefix(s, "host:") {
+		return "", false
+	}
+	return strings.TrimSpace(s[5:]), true
+}
+
+func parseStatusLine(line []byte) (int, bool) {
+	s := string(line)
+	if !strings.HasPrefix(s, "HTTP/") {
+		return 0, false
+	}
+	parts := strings.SplitN(s, " ", 3)
+	if len(parts) < 2 {
+		return 0, false
+	}
+	var status int
+	if _, err := fmt.Sscanf(parts[1], "%d", &status); err != nil || status < 100 || status > 599 {
+		return 0, false
+	}
+	return status, true
+}

@@ -1,0 +1,112 @@
+package ips
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// signature is one compiled content-matching rule. Rules live in the
+// configuration tree under "rules/<name>" with a Snort-ish syntax:
+//
+//	alert tcp dport=80 content="evil" msg="evil payload"
+//	drop  tcp dport=80 content="attack" msg="blocked"
+//
+// The controller creates and updates them (configuration state is
+// controller-owned, §3.2); the IPS only reads them on the packet path.
+type signature struct {
+	name    string
+	action  string // "alert" or "drop"
+	proto   uint8  // 0 = any
+	dport   uint16 // 0 = any
+	content []byte
+	msg     string
+}
+
+// parseSignature compiles one rule string.
+func parseSignature(name, rule string) (*signature, error) {
+	sig := &signature{name: name}
+	fields := tokenizeRule(rule)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("ips: rule %q: too few fields", name)
+	}
+	switch fields[0] {
+	case "alert", "drop":
+		sig.action = fields[0]
+	default:
+		return nil, fmt.Errorf("ips: rule %q: unknown action %q", name, fields[0])
+	}
+	switch fields[1] {
+	case "tcp":
+		sig.proto = 6
+	case "udp":
+		sig.proto = 17
+	case "any":
+		sig.proto = 0
+	default:
+		return nil, fmt.Errorf("ips: rule %q: unknown proto %q", name, fields[1])
+	}
+	for _, f := range fields[2:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("ips: rule %q: bad option %q", name, f)
+		}
+		val := strings.Trim(kv[1], `"`)
+		switch kv[0] {
+		case "dport":
+			p, err := strconv.Atoi(val)
+			if err != nil || p < 0 || p > 65535 {
+				return nil, fmt.Errorf("ips: rule %q: bad dport %q", name, val)
+			}
+			sig.dport = uint16(p)
+		case "content":
+			sig.content = []byte(val)
+		case "msg":
+			sig.msg = val
+		default:
+			return nil, fmt.Errorf("ips: rule %q: unknown option %q", name, kv[0])
+		}
+	}
+	if len(sig.content) == 0 {
+		return nil, fmt.Errorf("ips: rule %q: missing content", name)
+	}
+	return sig, nil
+}
+
+// tokenizeRule splits on spaces but keeps quoted strings intact.
+func tokenizeRule(rule string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range rule {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// match reports whether the signature fires on a packet with the given
+// protocol, destination port, and payload.
+func (s *signature) match(proto uint8, dport uint16, payload []byte) bool {
+	if s.proto != 0 && s.proto != proto {
+		return false
+	}
+	if s.dport != 0 && s.dport != dport {
+		return false
+	}
+	return bytes.Contains(payload, s.content)
+}

@@ -1,0 +1,310 @@
+// Package lb implements a Balance-like TCP load balancer (§4.1.2 of the
+// paper). Its defining property for OpenMB is its keying granularity:
+// "Balance only maintains a chunk of per-flow state based on source IP/port,
+// since the destination IP/port is the same for all connections, namely, the
+// IP/port of the load balancer." Requests for per-flow state at a finer
+// granularity than that — any match constraining destination fields — return
+// an error, per the southbound API contract.
+//
+// The balancer also demonstrates introspection: it raises "lb.assigned"
+// events when a new flow is bound to a backend, carrying the chosen server
+// in the event values — the paper's running example of event payloads.
+package lb
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+
+	"openmb/internal/mbox"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// Kind is the middlebox type name.
+const Kind = "lb"
+
+// Backend is one load-balanced server.
+type Backend struct {
+	IP   netip.Addr
+	Port uint16
+}
+
+// String renders "ip:port".
+func (b Backend) String() string { return fmt.Sprintf("%s:%d", b.IP, b.Port) }
+
+// ParseBackend parses "ip:port".
+func ParseBackend(s string) (Backend, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Backend{}, fmt.Errorf("lb: backend %q: missing port", s)
+	}
+	ip, err := netip.ParseAddr(s[:i])
+	if err != nil {
+		return Backend{}, fmt.Errorf("lb: backend %q: %w", s, err)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port <= 0 || port > 65535 {
+		return Backend{}, fmt.Errorf("lb: backend %q: bad port", s)
+	}
+	return Backend{IP: ip, Port: uint16(port)}, nil
+}
+
+// assignment is the per-flow supporting state: which backend serves a
+// source endpoint.
+type assignment struct {
+	Backend Backend
+	// Packets counts forwarded packets (useful for rebalancing
+	// decisions; carried along on moves).
+	Packets uint64
+}
+
+// LB is the middlebox logic. It implements mbox.Logic.
+type LB struct {
+	mu sync.Mutex
+	// assigns is keyed by source endpoint only: dst fields zeroed.
+	assigns  map[packet.FlowKey]*assignment
+	backends []Backend
+	rr       int
+	vip      netip.Addr
+	vipPort  uint16
+	config   *state.ConfigTree
+	dirty    bool
+}
+
+// New returns a load balancer fronting vip:vipPort with the given backends.
+func New(vip netip.Addr, vipPort uint16, backends []Backend) *LB {
+	l := &LB{
+		assigns:  map[packet.FlowKey]*assignment{},
+		backends: append([]Backend(nil), backends...),
+		vip:      vip,
+		vipPort:  vipPort,
+		config:   state.NewConfigTree(),
+	}
+	values := make([]string, len(backends))
+	for i, b := range backends {
+		values[i] = b.String()
+	}
+	if err := l.config.Set("backends", values); err != nil {
+		panic("lb: default config: " + err.Error())
+	}
+	l.config.Watch(func(string) {
+		l.mu.Lock()
+		l.dirty = true
+		l.mu.Unlock()
+	})
+	return l
+}
+
+// Kind implements mbox.Logic.
+func (l *LB) Kind() string { return Kind }
+
+// srcKey masks a flow to the balancer's keying granularity.
+func srcKey(p *packet.Packet) packet.FlowKey {
+	return packet.FlowKey{SrcIP: p.SrcIP, SrcPort: p.SrcPort, Proto: p.Proto}
+}
+
+func (l *LB) applyConfigLocked() {
+	l.dirty = false
+	v, err := l.config.Get("backends")
+	if err != nil {
+		return
+	}
+	backends := make([]Backend, 0, len(v))
+	for _, s := range v {
+		b, err := ParseBackend(s)
+		if err != nil {
+			return // keep the old set on a malformed update
+		}
+		backends = append(backends, b)
+	}
+	l.backends = backends
+	if l.rr >= len(backends) {
+		l.rr = 0
+	}
+}
+
+// Process implements mbox.Logic: bind new flows round-robin and rewrite the
+// destination to the assigned backend.
+func (l *LB) Process(ctx *mbox.Context, p *packet.Packet) {
+	if p.DstIP != l.vip || p.DstPort != l.vipPort {
+		ctx.Emit(p) // return traffic or unrelated: pass through
+		return
+	}
+	key := srcKey(p)
+	l.mu.Lock()
+	if l.dirty {
+		l.applyConfigLocked()
+	}
+	if len(l.backends) == 0 {
+		l.mu.Unlock()
+		return // no backends: drop
+	}
+	a, ok := l.assigns[key]
+	assigned := false
+	if !ok {
+		a = &assignment{Backend: l.backends[l.rr%len(l.backends)]}
+		l.rr++
+		l.assigns[key] = a
+		assigned = true
+	}
+	a.Packets++
+	ctx.Touch(state.Supporting, key)
+	backend := a.Backend
+	l.mu.Unlock()
+
+	if assigned {
+		ctx.RaiseIntrospection("lb.assigned", key, map[string]string{"server": backend.String()})
+	}
+	out := p.Clone()
+	out.DstIP = backend.IP
+	out.DstPort = backend.Port
+	ctx.Emit(out)
+}
+
+// GetPerflow implements mbox.Logic. Destination constraints are rejected:
+// they are finer than the balancer's source-endpoint keying (§4.1.2:
+// "requests for per-flow state at a granularity finer than the MB uses will
+// return an error").
+func (l *LB) GetPerflow(class state.Class, match packet.FieldMatch, emit func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error) error {
+	if class != state.Supporting {
+		return nil
+	}
+	if match.ConstrainsDst() {
+		return fmt.Errorf("lb: per-flow state is keyed by source IP/port only; destination constraints are finer than the keying granularity")
+	}
+	l.mu.Lock()
+	keys := make([]packet.FlowKey, 0, len(l.assigns))
+	for k := range l.assigns {
+		if match.Match(k) {
+			keys = append(keys, k)
+		}
+	}
+	l.mu.Unlock()
+	packet.SortKeys(keys)
+	for _, k := range keys {
+		key := k
+		err := emit(key, func(mark func()) ([]byte, error) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			mark()
+			a, ok := l.assigns[key]
+			if !ok {
+				return nil, fmt.Errorf("lb: assignment for %s vanished during get", key)
+			}
+			return []byte(fmt.Sprintf("%s %d", a.Backend, a.Packets)), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutPerflow implements mbox.Logic.
+func (l *LB) PutPerflow(class state.Class, c state.Chunk) error {
+	if class != state.Supporting {
+		return fmt.Errorf("lb: no per-flow %v state", class)
+	}
+	parts := strings.Fields(string(c.Blob))
+	if len(parts) != 2 {
+		return fmt.Errorf("lb: malformed assignment blob %q", c.Blob)
+	}
+	b, err := ParseBackend(parts[0])
+	if err != nil {
+		return err
+	}
+	pkts, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("lb: malformed packet count %q", parts[1])
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if existing, ok := l.assigns[c.Key]; ok {
+		// The flow raced the move and was assigned here too; the
+		// incoming (original) binding wins — an in-progress
+		// transaction must not switch servers (§2, R4).
+		existing.Backend = b
+		existing.Packets += pkts
+		return nil
+	}
+	l.assigns[c.Key] = &assignment{Backend: b, Packets: pkts}
+	return nil
+}
+
+// DelPerflow implements mbox.Logic.
+func (l *LB) DelPerflow(class state.Class, match packet.FieldMatch) (int, error) {
+	if class != state.Supporting {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for k := range l.assigns {
+		if match.Match(k) {
+			delete(l.assigns, k)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// GetShared implements mbox.Logic: the balancer has no shared state worth
+// moving (the round-robin cursor is reconstructible).
+func (l *LB) GetShared(class state.Class, mark func()) ([]byte, error) {
+	return nil, mbox.ErrNoSharedState
+}
+
+// PutShared implements mbox.Logic.
+func (l *LB) PutShared(class state.Class, blob []byte) error {
+	return mbox.ErrNoSharedState
+}
+
+// Stats implements mbox.Logic.
+func (l *LB) Stats(match packet.FieldMatch) sbi.StatsReply {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s sbi.StatsReply
+	for k, a := range l.assigns {
+		if match.Match(k) {
+			s.SupportPerflowChunks++
+			s.SupportPerflowBytes += len(a.Backend.String()) + 8
+		}
+	}
+	return s
+}
+
+// Config implements mbox.Logic.
+func (l *LB) Config() *state.ConfigTree { return l.config }
+
+// Assignment returns the backend bound to a source endpoint.
+func (l *LB) Assignment(srcIP netip.Addr, srcPort uint16, proto uint8) (Backend, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.assigns[packet.FlowKey{SrcIP: srcIP, SrcPort: srcPort, Proto: proto}]
+	if !ok {
+		return Backend{}, false
+	}
+	return a.Backend, true
+}
+
+// AssignmentCount returns the number of bound flows.
+func (l *LB) AssignmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.assigns)
+}
+
+// BackendLoads returns the number of flows bound to each backend.
+func (l *LB) BackendLoads() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	loads := map[string]int{}
+	for _, a := range l.assigns {
+		loads[a.Backend.String()]++
+	}
+	return loads
+}

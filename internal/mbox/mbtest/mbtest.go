@@ -1,0 +1,273 @@
+// Package mbtest provides a minimal middlebox logic for tests and
+// controller benchmarks: a per-flow packet counter with shared counters.
+// It doubles as the paper's "dummy MB" (§8.3), which replays synthetic state
+// in response to gets and generates events under packet load, letting the
+// controller's performance be isolated from real middlebox processing cost.
+package mbtest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"openmb/internal/mbox"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// CounterLogic counts packets per flow (per-flow supporting state) and
+// globally (shared supporting and reporting counters). Chunks are padded to
+// ChunkBytes, defaulting to 202 bytes — the dummy-state size the paper uses
+// for controller benchmarks.
+type CounterLogic struct {
+	// ChunkBytes is the exported chunk payload size (min 8).
+	ChunkBytes int
+
+	mu            sync.Mutex
+	flows         map[packet.FlowKey]uint64
+	sharedSupport uint64
+	sharedReport  uint64
+	config        *state.ConfigTree
+}
+
+// NewCounterLogic returns a CounterLogic with the given chunk size
+// (0 means 202 bytes).
+func NewCounterLogic(chunkBytes int) *CounterLogic {
+	if chunkBytes == 0 {
+		chunkBytes = 202
+	}
+	if chunkBytes < 8 {
+		chunkBytes = 8
+	}
+	return &CounterLogic{
+		ChunkBytes: chunkBytes,
+		flows:      map[packet.FlowKey]uint64{},
+		config:     state.NewConfigTree(),
+	}
+}
+
+// Kind implements mbox.Logic.
+func (l *CounterLogic) Kind() string { return "counter" }
+
+// Process counts the packet per flow and globally.
+func (l *CounterLogic) Process(ctx *mbox.Context, p *packet.Packet) {
+	key := p.Flow().Canonical()
+	l.mu.Lock()
+	// Touch under the same lock that serializes exports, so the
+	// moved-mark check is atomic with the update (see mbox.Logic).
+	if !ctx.SkipPerflow() {
+		l.flows[key]++
+		ctx.Touch(state.Supporting, key)
+	}
+	if !ctx.SkipShared() {
+		l.sharedSupport++
+		l.sharedReport++
+		ctx.TouchShared(state.Supporting)
+		ctx.TouchShared(state.Reporting)
+	}
+	l.mu.Unlock()
+	ctx.Emit(p)
+	ctx.Log("conn", key.String())
+	ctx.RaiseIntrospection("counter.flow.seen", key, nil)
+}
+
+func (l *CounterLogic) encode(v uint64) []byte {
+	b := make([]byte, l.ChunkBytes)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// GetPerflow implements mbox.Logic: per-flow state exists only in the
+// Supporting class. Requests constraining destination fields are rejected as
+// finer than the keying granularity.
+func (l *CounterLogic) GetPerflow(class state.Class, m packet.FieldMatch, emit func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error) error {
+	if class != state.Supporting {
+		return nil
+	}
+	if m.ConstrainsDst() {
+		return fmt.Errorf("counter: requested granularity finer than per-flow keying")
+	}
+	l.mu.Lock()
+	keys := make([]packet.FlowKey, 0, len(l.flows))
+	for k := range l.flows {
+		if m.MatchEither(k) {
+			keys = append(keys, k)
+		}
+	}
+	l.mu.Unlock()
+	packet.SortKeys(keys)
+	for _, k := range keys {
+		key := k
+		err := emit(key, func(mark func()) ([]byte, error) {
+			l.mu.Lock()
+			mark() // atomic with the snapshot: see mbox.Logic
+			v := l.flows[key]
+			l.mu.Unlock()
+			return l.encode(v), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutPerflow merges the incoming count into any existing record.
+func (l *CounterLogic) PutPerflow(class state.Class, c state.Chunk) error {
+	if class != state.Supporting {
+		return fmt.Errorf("counter: no per-flow %v state", class)
+	}
+	if len(c.Blob) < 8 {
+		return fmt.Errorf("counter: short blob (%d bytes)", len(c.Blob))
+	}
+	l.mu.Lock()
+	l.flows[c.Key] += binary.BigEndian.Uint64(c.Blob)
+	l.mu.Unlock()
+	return nil
+}
+
+// DelPerflow removes matching per-flow records.
+func (l *CounterLogic) DelPerflow(class state.Class, m packet.FieldMatch) (int, error) {
+	if class != state.Supporting {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for k := range l.flows {
+		if m.MatchEither(k) {
+			delete(l.flows, k)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// GetShared exports the shared counter of the class.
+func (l *CounterLogic) GetShared(class state.Class, mark func()) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	mark() // atomic with the snapshot: see mbox.Logic
+	switch class {
+	case state.Supporting:
+		return l.encode(l.sharedSupport), nil
+	case state.Reporting:
+		return l.encode(l.sharedReport), nil
+	}
+	return nil, mbox.ErrNoSharedState
+}
+
+// PutShared merges (sums) the incoming counter.
+func (l *CounterLogic) PutShared(class state.Class, blob []byte) error {
+	if len(blob) < 8 {
+		return fmt.Errorf("counter: short shared blob")
+	}
+	v := binary.BigEndian.Uint64(blob)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch class {
+	case state.Supporting:
+		l.sharedSupport += v
+	case state.Reporting:
+		l.sharedReport += v
+	default:
+		return mbox.ErrNoSharedState
+	}
+	return nil
+}
+
+// Stats implements mbox.Logic.
+func (l *CounterLogic) Stats(m packet.FieldMatch) sbi.StatsReply {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s sbi.StatsReply
+	for k := range l.flows {
+		if m.MatchEither(k) {
+			s.SupportPerflowChunks++
+			s.SupportPerflowBytes += l.ChunkBytes
+		}
+	}
+	s.SupportSharedBytes = l.ChunkBytes
+	s.ReportSharedBytes = l.ChunkBytes
+	return s
+}
+
+// Config implements mbox.Logic.
+func (l *CounterLogic) Config() *state.ConfigTree { return l.config }
+
+// Count returns the per-flow count for key (canonicalized).
+func (l *CounterLogic) Count(key packet.FlowKey) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flows[key.Canonical()]
+}
+
+// SharedSupport returns the shared supporting counter.
+func (l *CounterLogic) SharedSupport() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sharedSupport
+}
+
+// SharedReport returns the shared reporting counter.
+func (l *CounterLogic) SharedReport() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sharedReport
+}
+
+// Flows returns the number of per-flow records.
+func (l *CounterLogic) Flows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.flows)
+}
+
+// SumCounts returns the sum of all per-flow counts.
+func (l *CounterLogic) SumCounts() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum uint64
+	for _, v := range l.flows {
+		sum += v
+	}
+	return sum
+}
+
+// Preload installs n per-flow records with count 1, returning their keys.
+// Keys are synthetic flows inside 10.0.0.0/8, all destined to port 80 —
+// the dummy state the controller benchmarks move around.
+func (l *CounterLogic) Preload(n int) []packet.FlowKey {
+	keys := make([]packet.FlowKey, n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < n; i++ {
+		k := FlowN(i)
+		l.flows[k.Canonical()] = 1
+		keys[i] = k
+	}
+	return keys
+}
+
+// FlowN returns the i-th synthetic flow key used by Preload.
+func FlowN(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+		DstIP:   netip.AddrFrom4([4]byte{1, 1, 1, 1}),
+		Proto:   packet.ProtoTCP,
+		SrcPort: uint16(1024 + i%60000),
+		DstPort: 80,
+	}
+}
+
+// PacketForFlow builds a packet belonging to FlowN(i).
+func PacketForFlow(i int) *packet.Packet {
+	k := FlowN(i)
+	return &packet.Packet{
+		SrcIP: k.SrcIP, DstIP: k.DstIP, Proto: k.Proto,
+		SrcPort: k.SrcPort, DstPort: k.DstPort,
+		Payload: []byte("dummy-event-payload-128-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+	}
+}

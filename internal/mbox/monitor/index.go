@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"net/netip"
+	"sort"
+
+	"openmb/internal/packet"
+)
+
+// srcIndex orders connection keys by source and by destination address, so
+// gets whose match constrains an address prefix can binary-search the
+// covered ranges instead of scanning the whole table — the wildcard-match
+// structure footnote 6 of the paper suggests. Because a request may name
+// either direction of a flow, each constrained prefix is probed against
+// both orderings; candidates are then filtered exactly with MatchEither.
+type srcIndex struct {
+	bySrc []packet.FlowKey // sorted by (SrcIP, SrcPort, DstIP, DstPort, Proto)
+	byDst []packet.FlowKey // sorted by (DstIP, DstPort, SrcIP, SrcPort, Proto)
+}
+
+func newSrcIndex() *srcIndex { return &srcIndex{} }
+
+func srcLess(a, b packet.FlowKey) bool {
+	if c := a.SrcIP.Compare(b.SrcIP); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if c := a.DstIP.Compare(b.DstIP); c != 0 {
+		return c < 0
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+func dstLess(a, b packet.FlowKey) bool {
+	if c := a.DstIP.Compare(b.DstIP); c != 0 {
+		return c < 0
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	if c := a.SrcIP.Compare(b.SrcIP); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.Proto < b.Proto
+}
+
+func insertSorted(keys []packet.FlowKey, k packet.FlowKey, less func(a, b packet.FlowKey) bool) []packet.FlowKey {
+	i := sort.Search(len(keys), func(i int) bool { return !less(keys[i], k) })
+	if i < len(keys) && keys[i] == k {
+		return keys
+	}
+	keys = append(keys, packet.FlowKey{})
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}
+
+func removeSorted(keys []packet.FlowKey, k packet.FlowKey, less func(a, b packet.FlowKey) bool) []packet.FlowKey {
+	i := sort.Search(len(keys), func(i int) bool { return !less(keys[i], k) })
+	if i < len(keys) && keys[i] == k {
+		return append(keys[:i], keys[i+1:]...)
+	}
+	return keys
+}
+
+func (ix *srcIndex) insert(k packet.FlowKey) {
+	ix.bySrc = insertSorted(ix.bySrc, k, srcLess)
+	ix.byDst = insertSorted(ix.byDst, k, dstLess)
+}
+
+func (ix *srcIndex) remove(k packet.FlowKey) {
+	ix.bySrc = removeSorted(ix.bySrc, k, srcLess)
+	ix.byDst = removeSorted(ix.byDst, k, dstLess)
+}
+
+// rangeKeys returns the keys matching m using the indexes, and whether the
+// index was applicable (a source or destination prefix was constrained).
+func (ix *srcIndex) rangeKeys(m packet.FieldMatch) ([]packet.FlowKey, bool) {
+	var prefixes []netip.Prefix
+	if m.SrcPrefix.IsValid() {
+		prefixes = append(prefixes, m.SrcPrefix)
+	}
+	if m.DstPrefix.IsValid() {
+		prefixes = append(prefixes, m.DstPrefix)
+	}
+	if len(prefixes) == 0 {
+		return nil, false // full address wildcard: a scan is optimal anyway
+	}
+	seen := map[packet.FlowKey]bool{}
+	var out []packet.FlowKey
+	add := func(k packet.FlowKey) {
+		if !seen[k] && m.MatchEither(k) {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, p := range prefixes {
+		lo := p.Masked().Addr()
+		start := sort.Search(len(ix.bySrc), func(i int) bool { return ix.bySrc[i].SrcIP.Compare(lo) >= 0 })
+		for i := start; i < len(ix.bySrc) && p.Contains(ix.bySrc[i].SrcIP); i++ {
+			add(ix.bySrc[i])
+		}
+		start = sort.Search(len(ix.byDst), func(i int) bool { return ix.byDst[i].DstIP.Compare(lo) >= 0 })
+		for i := start; i < len(ix.byDst) && p.Contains(ix.byDst[i].DstIP); i++ {
+			add(ix.byDst[i])
+		}
+	}
+	return out, true
+}
+
+// Len returns the number of indexed keys.
+func (ix *srcIndex) Len() int { return len(ix.bySrc) }

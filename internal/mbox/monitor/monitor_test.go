@@ -1,0 +1,458 @@
+package monitor
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"openmb/internal/mbox"
+	"openmb/internal/packet"
+	"openmb/internal/state"
+	"openmb/internal/trace"
+)
+
+func process(t *testing.T, m *Monitor, pkts ...*packet.Packet) {
+	t.Helper()
+	rt := mbox.New("m", m, mbox.Options{})
+	defer rt.Close()
+	for _, p := range pkts {
+		rt.HandlePacket(p)
+	}
+	if !rt.Drain(5e9) {
+		t.Fatal("drain timeout")
+	}
+}
+
+func tcpPkt(src, dst string, sp, dp uint16, flags uint8, payload string) *packet.Packet {
+	return &packet.Packet{
+		SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst),
+		Proto: packet.ProtoTCP, SrcPort: sp, DstPort: dp,
+		Flags: flags, TTL: 64, Payload: []byte(payload),
+	}
+}
+
+func TestProcessCountsBothDirections(t *testing.T) {
+	m := New()
+	fwd := tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagSYN, "")
+	rev := tcpPkt("1.1.1.1", "10.0.0.1", 80, 1234, packet.FlagSYN|packet.FlagACK, "")
+	process(t, m, fwd, rev, fwd)
+	if m.FlowCount() != 1 {
+		t.Fatalf("flows: %d", m.FlowCount())
+	}
+	rec, ok := m.FlowRecord(fwd.Flow())
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if rec.Packets[0]+rec.Packets[1] != 3 {
+		t.Fatalf("packets: %v", rec.Packets)
+	}
+	s := m.Snapshot()
+	if s.Shared.Packets != 3 || s.Shared.TCP != 3 || s.Shared.Flows != 1 {
+		t.Fatalf("shared: %+v", s.Shared)
+	}
+}
+
+func TestServiceDetection(t *testing.T) {
+	m := New()
+	process(t, m,
+		tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagACK, "GET / HTTP/1.1\r\n"),
+		tcpPkt("10.0.0.2", "1.1.1.2", 1235, 22, packet.FlagACK, "SSH-2.0-OpenSSH"),
+	)
+	rec1, _ := m.FlowRecord(tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, 0, "").Flow())
+	rec2, _ := m.FlowRecord(tcpPkt("10.0.0.2", "1.1.1.2", 1235, 22, 0, "").Flow())
+	if rec1.Service != "http" || rec2.Service != "ssh" {
+		t.Fatalf("services: %q %q", rec1.Service, rec2.Service)
+	}
+	if m.Snapshot().Shared.AssetsFound != 2 {
+		t.Fatalf("assets: %d", m.Snapshot().Shared.AssetsFound)
+	}
+}
+
+func TestServiceDetectionConfigurable(t *testing.T) {
+	m := New()
+	if err := m.Config().Set("service_detection", []string{"off"}); err != nil {
+		t.Fatal(err)
+	}
+	process(t, m, tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagACK, "GET / HTTP/1.1\r\n"))
+	rec, _ := m.FlowRecord(tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, 0, "").Flow())
+	if rec.Service != "" {
+		t.Fatalf("detection ran while disabled: %q", rec.Service)
+	}
+}
+
+func TestOSDetectionFromSYN(t *testing.T) {
+	m := New()
+	p := tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagSYN, "")
+	p.TTL = 128
+	process(t, m, p)
+	rec, _ := m.FlowRecord(p.Flow())
+	if rec.OS != "windows" {
+		t.Fatalf("os: %q", rec.OS)
+	}
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	f := func(p0, p1, b0, b1 uint64, first, last int64, svcIdx uint8) bool {
+		services := []string{"", "http", "ssh", "smtp"}
+		rec := connRecord{
+			FirstSeen: first, LastSeen: last,
+			Packets: [2]uint64{p0, p1}, Bytes: [2]uint64{b0, b1},
+			Service: services[int(svcIdx)%len(services)], OS: "linux/unix",
+		}
+		var got connRecord
+		if err := got.unmarshal(rec.marshal()); err != nil {
+			return false
+		}
+		return got.Packets == rec.Packets && got.Bytes == rec.Bytes &&
+			got.FirstSeen == rec.FirstSeen && got.LastSeen == rec.LastSeen &&
+			got.Service == rec.Service && got.OS == rec.OS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordUnmarshalErrors(t *testing.T) {
+	var rec connRecord
+	if err := rec.unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short record should fail")
+	}
+	good := (&connRecord{Service: "http"}).marshal()
+	if err := rec.unmarshal(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated strings should fail")
+	}
+}
+
+func TestGetPutMoveConservesCounts(t *testing.T) {
+	src := New()
+	tr := trace.Cloud(trace.CloudConfig{Seed: 1, Flows: 30})
+	rt := mbox.New("src", src, mbox.Options{})
+	defer rt.Close()
+	for _, p := range tr.Packets {
+		rt.HandlePacket(p)
+	}
+	if !rt.Drain(5e9) {
+		t.Fatal("drain")
+	}
+	total := src.TotalPerflowPackets()
+
+	dst := New()
+	err := src.GetPerflow(state.Reporting, packet.MatchAll, func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error {
+		blob, err := build(func() {})
+		if err != nil {
+			return err
+		}
+		return dst.PutPerflow(state.Reporting, state.Chunk{Key: key, Blob: blob})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.TotalPerflowPackets() != total {
+		t.Fatalf("per-flow packet counters not conserved: %d vs %d", dst.TotalPerflowPackets(), total)
+	}
+	if dst.FlowCount() != src.FlowCount() {
+		t.Fatalf("flow counts: %d vs %d", dst.FlowCount(), src.FlowCount())
+	}
+}
+
+func TestPutMergesExistingRecord(t *testing.T) {
+	m := New()
+	p := tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagACK, "x")
+	process(t, m, p)
+	incoming := connRecord{FirstSeen: -100, LastSeen: 999, Packets: [2]uint64{5, 3}, Bytes: [2]uint64{50, 30}, Service: "http"}
+	if err := m.PutPerflow(state.Reporting, state.Chunk{Key: p.Flow().Canonical(), Blob: incoming.marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := m.FlowRecord(p.Flow())
+	if rec.Packets[0]+rec.Packets[1] != 9 { // 1 local + 8 incoming
+		t.Fatalf("merged packets: %v", rec.Packets)
+	}
+	if rec.FirstSeen != -100 || rec.LastSeen != 999 {
+		t.Fatalf("merged times: %d %d", rec.FirstSeen, rec.LastSeen)
+	}
+	if rec.Service != "http" {
+		t.Fatalf("merged service: %q", rec.Service)
+	}
+	if m.Snapshot().Shared.Flows != 1 {
+		t.Fatal("merge inflated flow count")
+	}
+}
+
+func TestSharedMergeIsSum(t *testing.T) {
+	a, b := New(), New()
+	process(t, a, tcpPkt("10.0.0.1", "1.1.1.1", 1, 80, 0, "xx"))
+	process(t, b,
+		tcpPkt("10.0.0.2", "1.1.1.1", 2, 80, 0, "yyy"),
+		tcpPkt("10.0.0.3", "1.1.1.1", 3, 80, 0, "z"))
+	blob, err := a.GetShared(state.Reporting, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutShared(state.Reporting, blob); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Snapshot()
+	if s.Shared.Packets != 3 || s.Shared.Bytes != 6 || s.Shared.Flows != 3 {
+		t.Fatalf("merged shared: %+v", s.Shared)
+	}
+}
+
+func TestSharedMergeProperty(t *testing.T) {
+	// Merging shared stats is commutative in the total: sum(a)+sum(b)
+	// regardless of merge direction.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() *Monitor {
+			m := New()
+			var s sharedStat
+			s.Packets = uint64(r.Intn(1000))
+			s.Bytes = uint64(r.Intn(100000))
+			s.Flows = uint64(r.Intn(50))
+			m.shared = s
+			return m
+		}
+		a1, b1 := mk(), mk()
+		aPkts, bPkts := a1.shared.Packets, b1.shared.Packets
+		blob, _ := a1.GetShared(state.Reporting, func() {})
+		if err := b1.PutShared(state.Reporting, blob); err != nil {
+			return false
+		}
+		return b1.shared.Packets == aPkts+bPkts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelPerflowSilent(t *testing.T) {
+	m := New()
+	process(t, m,
+		tcpPkt("10.0.0.1", "1.1.1.1", 1, 80, 0, "x"),
+		tcpPkt("10.0.0.2", "1.1.1.1", 2, 80, 0, "x"))
+	match, _ := packet.ParseFieldMatch("[nw_src=10.0.0.1]")
+	n, err := m.DelPerflow(state.Reporting, match)
+	if err != nil || n != 1 {
+		t.Fatalf("del: n=%d err=%v", n, err)
+	}
+	if m.FlowCount() != 1 {
+		t.Fatalf("flows after del: %d", m.FlowCount())
+	}
+	// Shared flow counter unchanged: the flows were genuinely observed.
+	if m.Snapshot().Shared.Flows != 2 {
+		t.Fatalf("shared flows: %d", m.Snapshot().Shared.Flows)
+	}
+}
+
+func TestGetPerflowOnlyReporting(t *testing.T) {
+	m := New()
+	process(t, m, tcpPkt("10.0.0.1", "1.1.1.1", 1, 80, 0, "x"))
+	calls := 0
+	err := m.GetPerflow(state.Supporting, packet.MatchAll, func(packet.FlowKey, func(func()) ([]byte, error)) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 0 {
+		t.Fatalf("supporting get should be empty: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestSharedClassErrors(t *testing.T) {
+	m := New()
+	if _, err := m.GetShared(state.Supporting, func() {}); err == nil {
+		t.Fatal("monitor has no shared supporting state")
+	}
+	if err := m.PutShared(state.Supporting, make([]byte, sharedWireSize)); err == nil {
+		t.Fatal("put of unsupported class should fail")
+	}
+	if err := m.PutShared(state.Reporting, []byte{1, 2}); err == nil {
+		t.Fatal("short shared blob should fail")
+	}
+}
+
+func TestStatsMatchesContents(t *testing.T) {
+	m := New()
+	process(t, m,
+		tcpPkt("10.0.0.1", "1.1.1.1", 1, 80, 0, "x"),
+		tcpPkt("10.0.0.2", "1.1.1.1", 2, 80, 0, "x"),
+		tcpPkt("10.0.1.3", "1.1.1.1", 3, 80, 0, "x"))
+	match, _ := packet.ParseFieldMatch("[nw_src=10.0.0.0/24]")
+	s := m.Stats(match)
+	if s.ReportPerflowChunks != 2 {
+		t.Fatalf("stats chunks: %d", s.ReportPerflowChunks)
+	}
+	if s.ReportSharedBytes != sharedWireSize {
+		t.Fatalf("stats shared bytes: %d", s.ReportSharedBytes)
+	}
+}
+
+func TestIntrospectionEventOnAsset(t *testing.T) {
+	m := New()
+	rt := mbox.New("m", m, mbox.Options{})
+	defer rt.Close()
+	rt.HandlePacket(tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagACK, "GET / HTTP/1.1\r\n"))
+	rt.Drain(5e9)
+	// Without a controller connection events go nowhere, but the counter
+	// still shows whether the filter would have fired; filters default
+	// off, so IntroRaised must be zero.
+	if rt.Metrics().IntroRaised != 0 {
+		t.Fatal("introspection raised without an enabled filter")
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	m := New()
+	ctx := mbox.NewBenchContext()
+	p := tcpPkt("10.0.0.1", "1.1.1.1", 1234, 80, packet.FlagACK, "GET / HTTP/1.1\r\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Process(ctx, p)
+	}
+}
+
+func BenchmarkLinearScanGet(b *testing.B) {
+	m := New()
+	rt := mbox.New("m", m, mbox.Options{})
+	defer rt.Close()
+	tr := trace.Cloud(trace.CloudConfig{Seed: 2, Flows: 500})
+	for _, p := range tr.Packets {
+		rt.HandlePacket(p)
+	}
+	rt.Drain(30e9)
+	match, _ := packet.ParseFieldMatch("[nw_src=10.1.0.0/16]")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GetPerflow(state.Reporting, match, func(key packet.FlowKey, build func(func()) ([]byte, error)) error {
+			_, err := build(func() {})
+			return err
+		})
+	}
+}
+
+func TestIndexedGetEquivalence(t *testing.T) {
+	// With indexed_get on, gets must return exactly the same chunks as
+	// the linear scan, for matches in either direction.
+	tr := trace.Cloud(trace.CloudConfig{Seed: 70, Flows: 60})
+	scan := New()
+	indexed := New()
+	if err := indexed.Config().Set("indexed_get", []string{"on"}); err != nil {
+		t.Fatal(err)
+	}
+	rtA := mbox.New("a", scan, mbox.Options{})
+	rtB := mbox.New("b", indexed, mbox.Options{})
+	defer rtA.Close()
+	defer rtB.Close()
+	for _, p := range tr.Packets {
+		rtA.HandlePacket(p)
+		rtB.HandlePacket(p)
+	}
+	rtA.Drain(10e9)
+	rtB.Drain(10e9)
+
+	for _, spec := range []string{
+		"[nw_src=10.1.0.0/17]",
+		"[nw_src=10.1.0.0/16]",
+		"[nw_dst=52.20.0.0/16]", // reverse-direction prefix
+		"[nw_src=10.1.0.0/17,nw_proto=tcp]",
+	} {
+		m, err := packet.ParseFieldMatch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(mon *Monitor) []string {
+			var keys []string
+			err := mon.GetPerflow(state.Reporting, m, func(key packet.FlowKey, build func(func()) ([]byte, error)) error {
+				if _, err := build(func() {}); err != nil {
+					return err
+				}
+				keys = append(keys, key.String())
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			return keys
+		}
+		a, b := collect(scan), collect(indexed)
+		if len(a) != len(b) {
+			t.Fatalf("%s: scan=%d indexed=%d", spec, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: key %d differs: %s vs %s", spec, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestIndexMaintainedAcrossPutDel(t *testing.T) {
+	m := New()
+	m.Config().Set("indexed_get", []string{"on"})
+	process(t, m,
+		tcpPkt("10.0.0.1", "1.1.1.1", 1, 80, 0, "x"),
+		tcpPkt("10.0.0.2", "1.1.1.1", 2, 80, 0, "x"))
+	if m.index == nil || m.index.Len() != 2 {
+		t.Fatalf("index size: %v", m.index)
+	}
+	match, _ := packet.ParseFieldMatch("[nw_src=10.0.0.1]")
+	if _, err := m.DelPerflow(state.Reporting, match); err != nil {
+		t.Fatal(err)
+	}
+	if m.index.Len() != 1 {
+		t.Fatalf("index after del: %d", m.index.Len())
+	}
+	// Put re-indexes.
+	rec := connRecord{Packets: [2]uint64{1, 0}}
+	key := tcpPkt("10.0.0.9", "1.1.1.1", 9, 80, 0, "").Flow().Canonical()
+	if err := m.PutPerflow(state.Reporting, state.Chunk{Key: key, Blob: rec.marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	if m.index.Len() != 2 {
+		t.Fatalf("index after put: %d", m.index.Len())
+	}
+	// Turning the index off drops it; gets still work.
+	m.Config().Set("indexed_get", []string{"off"})
+	if m.index != nil {
+		t.Fatal("index not dropped")
+	}
+	s := m.Stats(packet.MatchAll)
+	if s.ReportPerflowChunks != 2 {
+		t.Fatalf("stats after index off: %+v", s)
+	}
+}
+
+func TestIndexInsertRemoveProperty(t *testing.T) {
+	// Insert/remove keep the index sorted and duplicate-free.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := newSrcIndex()
+		var keys []packet.FlowKey
+		for i := 0; i < 50; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			k := packet.FlowKey{
+				SrcIP: netip.AddrFrom4(a), DstIP: netip.AddrFrom4([4]byte{1, 1, 1, 1}),
+				Proto: packet.ProtoTCP, SrcPort: uint16(r.Intn(1000)), DstPort: 80,
+			}
+			ix.insert(k)
+			ix.insert(k) // duplicate: no-op
+			keys = append(keys, k)
+		}
+		for i := 1; i < ix.Len(); i++ {
+			if !srcLess(ix.bySrc[i-1], ix.bySrc[i]) {
+				return false
+			}
+			if !dstLess(ix.byDst[i-1], ix.byDst[i]) {
+				return false
+			}
+		}
+		for _, k := range keys {
+			ix.remove(k)
+		}
+		return ix.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

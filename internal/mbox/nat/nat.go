@@ -1,0 +1,367 @@
+// Package nat implements a NAT middlebox. The paper uses a NAT to motivate
+// two OpenMB capabilities:
+//
+//   - introspection events (§4.2.2): "a control application may be
+//     interested in knowing when a NAT has created a new IP address/port
+//     mapping". The NAT raises "nat.mapping.created" and
+//     "nat.mapping.expired" events carrying the mapping in the event values.
+//   - efficient failure recovery (§2, R6): the viable recovery option keeps
+//     "a minimal live snapshot of only critical state (e.g., IP address and
+//     port mappings from a NAT), with non-critical state (e.g., mapping
+//     timeouts) set to default values when a failed MB instance is
+//     replaced". Mapping chunks therefore serialize only the critical
+//     fields; timers are reset to defaults on import.
+//
+// State classes: per-flow supporting (the mappings, keyed by internal
+// endpoint) and shared supporting (the external port allocator).
+package nat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"openmb/internal/mbox"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// Kind is the middlebox type name.
+const Kind = "nat"
+
+// mapping is one NAT binding. External IP/port are CRITICAL state (must
+// survive failover); LastActive is non-critical bookkeeping reset on import.
+type mapping struct {
+	Internal packet.FlowKey // key at NAT granularity: src endpoint + proto
+	ExtPort  uint16
+	Created  int64
+	// LastActive drives idle expiry; non-critical.
+	LastActive int64
+}
+
+const mappingWireSize = 2 + 8
+
+// NAT is the middlebox logic. It implements mbox.Logic.
+type NAT struct {
+	mu sync.Mutex
+	// byInternal maps internal (src IP, src port, proto) to mapping. The
+	// key is a masked FlowKey: destination fields zeroed — the NAT's
+	// keying granularity, coarser than a 5-tuple (§4.1.2).
+	byInternal map[packet.FlowKey]*mapping
+	byExtPort  map[uint16]*mapping
+	nextPort   uint16
+	extIP      netip.Addr
+	config     *state.ConfigTree
+}
+
+// New returns a NAT translating to the given external IP.
+func New(extIP netip.Addr) *NAT {
+	n := &NAT{
+		byInternal: map[packet.FlowKey]*mapping{},
+		byExtPort:  map[uint16]*mapping{},
+		nextPort:   20000,
+		extIP:      extIP,
+		config:     state.NewConfigTree(),
+	}
+	if err := n.config.Set("idle_timeout_ns", []string{"300000000000"}); err != nil { // 300 s
+		panic("nat: default config: " + err.Error())
+	}
+	if err := n.config.Set("internal_prefix", []string{"10.0.0.0/8"}); err != nil {
+		panic("nat: default config: " + err.Error())
+	}
+	return n
+}
+
+// Kind implements mbox.Logic.
+func (n *NAT) Kind() string { return Kind }
+
+// internalKey masks a flow down to the NAT's keying granularity.
+func internalKey(srcIP netip.Addr, srcPort uint16, proto uint8) packet.FlowKey {
+	return packet.FlowKey{SrcIP: srcIP, SrcPort: srcPort, Proto: proto, DstIP: netip.AddrFrom4([4]byte{}), DstPort: 0}
+}
+
+func (n *NAT) internalPrefix() netip.Prefix {
+	v, err := n.config.Get("internal_prefix")
+	if err != nil || len(v) != 1 {
+		return netip.MustParsePrefix("10.0.0.0/8")
+	}
+	p, err := netip.ParsePrefix(v[0])
+	if err != nil {
+		return netip.MustParsePrefix("10.0.0.0/8")
+	}
+	return p
+}
+
+func (n *NAT) idleTimeout() int64 {
+	v, err := n.config.Get("idle_timeout_ns")
+	if err != nil || len(v) != 1 {
+		return 300e9
+	}
+	var ns int64
+	if _, err := fmt.Sscanf(v[0], "%d", &ns); err != nil || ns <= 0 {
+		return 300e9
+	}
+	return ns
+}
+
+// Process implements mbox.Logic: translate and forward.
+func (n *NAT) Process(ctx *mbox.Context, p *packet.Packet) {
+	internal := n.internalPrefix()
+	switch {
+	case internal.Contains(p.SrcIP):
+		n.processOutbound(ctx, p)
+	case p.DstIP == n.extIP:
+		n.processInbound(ctx, p)
+	default:
+		ctx.Emit(p) // not ours to translate
+	}
+}
+
+func (n *NAT) processOutbound(ctx *mbox.Context, p *packet.Packet) {
+	key := internalKey(p.SrcIP, p.SrcPort, p.Proto)
+	n.mu.Lock()
+	expired := n.expireLocked(p.Timestamp)
+	m, ok := n.byInternal[key]
+	created := false
+	if !ok && ctx.SkipPerflow() {
+		n.mu.Unlock()
+		return
+	}
+	if !ok {
+		port, ok2 := n.allocPortLocked()
+		if !ok2 {
+			n.mu.Unlock()
+			return // port exhaustion: drop
+		}
+		m = &mapping{Internal: key, ExtPort: port, Created: p.Timestamp, LastActive: p.Timestamp}
+		n.byInternal[key] = m
+		n.byExtPort[port] = m
+		created = true
+		ctx.TouchShared(state.Supporting) // port allocator advanced
+	}
+	m.LastActive = p.Timestamp
+	ctx.Touch(state.Supporting, key)
+	extPort := m.ExtPort
+	n.mu.Unlock()
+
+	n.raiseExpired(ctx, expired)
+	if created {
+		ctx.RaiseIntrospection("nat.mapping.created", key, map[string]string{
+			"external": fmt.Sprintf("%s:%d", n.extIP, extPort),
+		})
+	}
+	out := p.Clone()
+	out.SrcIP = n.extIP
+	out.SrcPort = extPort
+	ctx.Emit(out)
+}
+
+func (n *NAT) processInbound(ctx *mbox.Context, p *packet.Packet) {
+	n.mu.Lock()
+	expired := n.expireLocked(p.Timestamp)
+	m, ok := n.byExtPort[p.DstPort]
+	if ok {
+		m.LastActive = p.Timestamp
+		ctx.Touch(state.Supporting, m.Internal)
+	}
+	n.mu.Unlock()
+	n.raiseExpired(ctx, expired)
+	if !ok {
+		return // no mapping: drop
+	}
+	out := p.Clone()
+	out.DstIP = m.Internal.SrcIP
+	out.DstPort = m.Internal.SrcPort
+	ctx.Emit(out)
+}
+
+// expireLocked removes idle mappings and returns them so the caller can
+// raise expiry introspection events outside the lock.
+func (n *NAT) expireLocked(now int64) []mapping {
+	timeout := n.idleTimeout()
+	var expired []mapping
+	for key, m := range n.byInternal {
+		if now-m.LastActive > timeout {
+			delete(n.byInternal, key)
+			delete(n.byExtPort, m.ExtPort)
+			expired = append(expired, *m)
+		}
+	}
+	return expired
+}
+
+func (n *NAT) raiseExpired(ctx *mbox.Context, expired []mapping) {
+	for _, m := range expired {
+		ctx.RaiseIntrospection("nat.mapping.expired", m.Internal, map[string]string{
+			"external": fmt.Sprintf("%s:%d", n.extIP, m.ExtPort),
+		})
+	}
+}
+
+func (n *NAT) allocPortLocked() (uint16, bool) {
+	for tries := 0; tries < 65536; tries++ {
+		port := n.nextPort
+		n.nextPort++
+		if n.nextPort < 20000 {
+			n.nextPort = 20000
+		}
+		if _, used := n.byExtPort[port]; !used && port >= 20000 {
+			return port, true
+		}
+	}
+	return 0, false
+}
+
+// GetPerflow implements mbox.Logic: mappings serialize only critical fields
+// (external port + creation time); idle timers reset on import.
+func (n *NAT) GetPerflow(class state.Class, match packet.FieldMatch, emit func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error) error {
+	if class != state.Supporting {
+		return nil
+	}
+	if match.ConstrainsDst() {
+		return fmt.Errorf("nat: mappings are keyed by internal endpoint; destination constraints are finer than keying granularity")
+	}
+	n.mu.Lock()
+	keys := make([]packet.FlowKey, 0, len(n.byInternal))
+	for k := range n.byInternal {
+		if match.MatchEither(k) {
+			keys = append(keys, k)
+		}
+	}
+	n.mu.Unlock()
+	packet.SortKeys(keys)
+	for _, k := range keys {
+		key := k
+		err := emit(key, func(mark func()) ([]byte, error) {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			mark()
+			m, ok := n.byInternal[key]
+			if !ok {
+				return nil, fmt.Errorf("nat: mapping for %s expired during get", key)
+			}
+			b := make([]byte, mappingWireSize)
+			binary.BigEndian.PutUint16(b[0:2], m.ExtPort)
+			binary.BigEndian.PutUint64(b[2:10], uint64(m.Created))
+			return b, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutPerflow implements mbox.Logic: restore a mapping with non-critical
+// fields (LastActive) reset to defaults — the failure-recovery semantics of
+// §2.
+func (n *NAT) PutPerflow(class state.Class, c state.Chunk) error {
+	if class != state.Supporting {
+		return fmt.Errorf("nat: no per-flow %v state", class)
+	}
+	if len(c.Blob) < mappingWireSize {
+		return fmt.Errorf("nat: short mapping blob (%d bytes)", len(c.Blob))
+	}
+	m := &mapping{
+		Internal: c.Key,
+		ExtPort:  binary.BigEndian.Uint16(c.Blob[0:2]),
+		Created:  int64(binary.BigEndian.Uint64(c.Blob[2:10])),
+		// LastActive deliberately restarts at import time (zero): the
+		// idle clock is non-critical state.
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.byExtPort[m.ExtPort]; ok && old.Internal != m.Internal {
+		return fmt.Errorf("nat: external port %d already bound", m.ExtPort)
+	}
+	n.byInternal[m.Internal] = m
+	n.byExtPort[m.ExtPort] = m
+	return nil
+}
+
+// DelPerflow implements mbox.Logic.
+func (n *NAT) DelPerflow(class state.Class, match packet.FieldMatch) (int, error) {
+	if class != state.Supporting {
+		return 0, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for k, m := range n.byInternal {
+		if match.MatchEither(k) {
+			delete(n.byInternal, k)
+			delete(n.byExtPort, m.ExtPort)
+			count++
+		}
+	}
+	return count, nil
+}
+
+// GetShared implements mbox.Logic: the port allocator cursor.
+func (n *NAT) GetShared(class state.Class, mark func()) ([]byte, error) {
+	if class != state.Supporting {
+		return nil, mbox.ErrNoSharedState
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mark()
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, n.nextPort)
+	return b, nil
+}
+
+// PutShared implements mbox.Logic: adopt the later allocator cursor, so a
+// merged NAT never re-allocates a port the source had handed out.
+func (n *NAT) PutShared(class state.Class, blob []byte) error {
+	if class != state.Supporting {
+		return mbox.ErrNoSharedState
+	}
+	if len(blob) < 2 {
+		return fmt.Errorf("nat: short allocator blob")
+	}
+	port := binary.BigEndian.Uint16(blob)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if port > n.nextPort {
+		n.nextPort = port
+	}
+	return nil
+}
+
+// Stats implements mbox.Logic.
+func (n *NAT) Stats(match packet.FieldMatch) sbi.StatsReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var s sbi.StatsReply
+	for k := range n.byInternal {
+		if match.MatchEither(k) {
+			s.SupportPerflowChunks++
+			s.SupportPerflowBytes += mappingWireSize
+		}
+	}
+	s.SupportSharedBytes = 2
+	return s
+}
+
+// Config implements mbox.Logic.
+func (n *NAT) Config() *state.ConfigTree { return n.config }
+
+// MappingCount returns the number of live mappings.
+func (n *NAT) MappingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.byInternal)
+}
+
+// Lookup returns the external port bound to an internal endpoint.
+func (n *NAT) Lookup(srcIP netip.Addr, srcPort uint16, proto uint8) (uint16, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.byInternal[internalKey(srcIP, srcPort, proto)]
+	if !ok {
+		return 0, false
+	}
+	return m.ExtPort, true
+}

@@ -1,0 +1,260 @@
+package re
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Cache is the RE packet cache: a ring buffer of recently seen content plus
+// a fingerprint table indexing sampled anchor windows (§6.1: "adds each
+// received packet to a packet cache (implemented as a ring buffer) and
+// inserts hashes of the packets' contents into a fingerprint table
+// (implemented as a hash table)").
+//
+// Positions are absolute byte offsets since cache creation; the ring index
+// is pos modulo capacity. A region [pos, pos+len) is resident while
+// pos >= insertPos - capacity. Strict position addressing means encoder and
+// decoder caches must apply identical insert sequences — the synchronization
+// assumption the migration scenario has to preserve.
+type Cache struct {
+	ring []byte
+	// insertPos is the absolute offset of the next byte to be written.
+	insertPos uint64
+	// fps maps anchor fingerprint -> fpEntry.
+	fps map[uint64]*fpEntry
+}
+
+type fpEntry struct {
+	Pos  uint64
+	Hits uint32
+}
+
+// NewCache creates a cache with the given capacity in bytes.
+func NewCache(capacity int) *Cache {
+	if capacity < 4*fpWindow {
+		capacity = 4 * fpWindow
+	}
+	return &Cache{ring: make([]byte, capacity), fps: map[uint64]*fpEntry{}}
+}
+
+// Capacity returns the ring size in bytes.
+func (c *Cache) Capacity() int { return len(c.ring) }
+
+// InsertPos returns the absolute offset of the next insert.
+func (c *Cache) InsertPos() uint64 { return c.insertPos }
+
+// resident reports whether [pos, pos+n) is still in the ring.
+func (c *Cache) resident(pos uint64, n int) bool {
+	if pos+uint64(n) > c.insertPos {
+		return false
+	}
+	return c.insertPos-pos <= uint64(len(c.ring))
+}
+
+// read copies the region [pos, pos+n) out of the ring. Caller must have
+// checked residency.
+func (c *Cache) read(pos uint64, n int) []byte {
+	out := make([]byte, n)
+	cap64 := uint64(len(c.ring))
+	start := pos % cap64
+	first := copy(out, c.ring[start:])
+	if first < n {
+		copy(out[first:], c.ring[:n-first])
+	}
+	return out
+}
+
+// Insert appends content to the ring and indexes its anchor windows.
+// Returns the absolute position at which content was written.
+func (c *Cache) Insert(content []byte) uint64 {
+	at := c.insertPos
+	cap64 := uint64(len(c.ring))
+	idx := at % cap64
+	first := copy(c.ring[idx:], content)
+	if first < len(content) {
+		copy(c.ring, content[first:])
+	}
+	c.insertPos += uint64(len(content))
+	// Index anchors.
+	if len(content) >= fpWindow {
+		h := windowHash(content)
+		for i := 0; ; i++ {
+			if sampled(h) {
+				e, ok := c.fps[h]
+				if !ok {
+					c.fps[h] = &fpEntry{Pos: at + uint64(i)}
+				} else {
+					e.Pos = at + uint64(i) // newest occurrence wins
+				}
+			}
+			if i+fpWindow >= len(content) {
+				break
+			}
+			h = roll(h, content[i], content[i+fpWindow])
+		}
+	}
+	return at
+}
+
+// lookup finds a resident anchor for fp, verifying the window content
+// matches (hash collisions and overwritten regions are rejected). It bumps
+// the entry's hit counter on success.
+func (c *Cache) lookup(fp uint64, window []byte) (uint64, bool) {
+	e, ok := c.fps[fp]
+	if !ok {
+		return 0, false
+	}
+	if !c.resident(e.Pos, fpWindow) {
+		delete(c.fps, fp)
+		return 0, false
+	}
+	got := c.read(e.Pos, fpWindow)
+	for i := range got {
+		if got[i] != window[i] {
+			return 0, false
+		}
+	}
+	e.Hits++
+	return e.Pos, true
+}
+
+// byteAt returns the byte at absolute position pos. Caller checks residency.
+func (c *Cache) byteAt(pos uint64) byte {
+	return c.ring[pos%uint64(len(c.ring))]
+}
+
+// Clone returns a deep copy: identical content, positions, and fingerprint
+// table. This is cloneSupport's substrate and the encoder's NumCaches
+// behaviour ("the encoder will clone its original cache to create a new
+// second cache", §6.1).
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		ring:      append([]byte(nil), c.ring...),
+		insertPos: c.insertPos,
+		fps:       make(map[uint64]*fpEntry, len(c.fps)),
+	}
+	for fp, e := range c.fps {
+		cp := *e
+		n.fps[fp] = &cp
+	}
+	return n
+}
+
+// cacheWireVersion guards the serialization format.
+const cacheWireVersion = 1
+
+// Marshal serializes the cache: version, capacity, insertPos, ring bytes,
+// and the fingerprint table sorted by fingerprint for determinism.
+func (c *Cache) Marshal() []byte {
+	out := make([]byte, 0, 21+len(c.ring)+len(c.fps)*20)
+	var tmp [8]byte
+	out = append(out, cacheWireVersion)
+	binary.BigEndian.PutUint64(tmp[:], uint64(len(c.ring)))
+	out = append(out, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], c.insertPos)
+	out = append(out, tmp[:]...)
+	out = append(out, c.ring...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(c.fps)))
+	out = append(out, tmp[:4]...)
+	fps := make([]uint64, 0, len(c.fps))
+	for fp := range c.fps {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		e := c.fps[fp]
+		binary.BigEndian.PutUint64(tmp[:], fp)
+		out = append(out, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], e.Pos)
+		out = append(out, tmp[:]...)
+		binary.BigEndian.PutUint32(tmp[:4], e.Hits)
+		out = append(out, tmp[:4]...)
+	}
+	return out
+}
+
+// UnmarshalCache reconstructs a cache from Marshal output.
+func UnmarshalCache(b []byte) (*Cache, error) {
+	if len(b) < 21 {
+		return nil, fmt.Errorf("re: cache blob too short (%d bytes)", len(b))
+	}
+	if b[0] != cacheWireVersion {
+		return nil, fmt.Errorf("re: unsupported cache version %d", b[0])
+	}
+	capacity := binary.BigEndian.Uint64(b[1:9])
+	insertPos := binary.BigEndian.Uint64(b[9:17])
+	if uint64(len(b)) < 21+capacity {
+		return nil, fmt.Errorf("re: truncated cache ring")
+	}
+	c := &Cache{
+		ring:      append([]byte(nil), b[17:17+capacity]...),
+		insertPos: insertPos,
+		fps:       map[uint64]*fpEntry{},
+	}
+	rest := b[17+capacity:]
+	nfps := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint64(len(rest)) < uint64(nfps)*20 {
+		return nil, fmt.Errorf("re: truncated fingerprint table")
+	}
+	for i := uint32(0); i < nfps; i++ {
+		fp := binary.BigEndian.Uint64(rest[:8])
+		pos := binary.BigEndian.Uint64(rest[8:16])
+		hits := binary.BigEndian.Uint32(rest[16:20])
+		c.fps[fp] = &fpEntry{Pos: pos, Hits: hits}
+		rest = rest[20:]
+	}
+	return c, nil
+}
+
+// MergeFrom folds another cache into this one using hit counts — the
+// MB-specific merge logic the paper sketches for content caches ("the MB
+// may require extra meta-data (e.g., hit counts) for each cache entry to
+// determine from which piece of state a particular entry should be
+// retained", §4.1.2). Entries from the other cache are imported in
+// descending hit order: each resident region is appended to the local ring
+// and re-indexed, until half the local capacity has been consumed.
+func (c *Cache) MergeFrom(blob []byte) error {
+	other, err := UnmarshalCache(blob)
+	if err != nil {
+		return err
+	}
+	if c.insertPos == 0 {
+		// Empty local cache: adopt the other wholesale.
+		*c = *other
+		return nil
+	}
+	type imp struct {
+		e  *fpEntry
+		fp uint64
+	}
+	var imports []imp
+	for fp, e := range other.fps {
+		if other.resident(e.Pos, fpWindow) {
+			imports = append(imports, imp{e: e, fp: fp})
+		}
+	}
+	sort.Slice(imports, func(i, j int) bool {
+		if imports[i].e.Hits != imports[j].e.Hits {
+			return imports[i].e.Hits > imports[j].e.Hits
+		}
+		return imports[i].fp < imports[j].fp
+	})
+	budget := len(c.ring) / 2
+	for _, im := range imports {
+		if budget < fpWindow {
+			break
+		}
+		if _, exists := c.fps[im.fp]; exists {
+			continue
+		}
+		region := other.read(im.e.Pos, fpWindow)
+		c.Insert(region)
+		budget -= fpWindow
+	}
+	return nil
+}
+
+// FPCount returns the number of indexed fingerprints.
+func (c *Cache) FPCount() int { return len(c.fps) }

@@ -1,0 +1,187 @@
+package re
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoded payload wire format: a 4-byte magic, then tokens.
+//
+//	literal: 0x00, u16 length, bytes
+//	match:   0x01, u64 cache position, u16 length, u32 region checksum
+//
+// The match token's position refers to the encoder's cache; the decoder
+// resolves it against its own cache, which is position-synchronized. The
+// checksum guards against silent desynchronization: a failed check counts
+// the region as undecodable (Table 3's metric).
+
+var encMagic = [4]byte{'R', 'E', '0', '1'}
+
+const (
+	tokLiteral = 0x00
+	tokMatch   = 0x01
+	// minMatch is the smallest region worth a match token (the token
+	// itself costs 15 bytes).
+	minMatch = fpWindow
+)
+
+// IsEncoded reports whether a payload carries the RE encoding.
+func IsEncoded(payload []byte) bool {
+	return len(payload) >= 4 && [4]byte(payload[:4]) == encMagic
+}
+
+// encode compresses payload against the cache, returning the encoded bytes,
+// and then inserts the original payload into insertInto (the encoding cache
+// plus any mirrors). Payloads shorter than a window are passed through as a
+// single literal.
+func encode(payload []byte, cache *Cache, insertInto []*Cache) ([]byte, encodeStats) {
+	var stats encodeStats
+	out := make([]byte, 0, len(payload)+8)
+	out = append(out, encMagic[:]...)
+
+	lastEmit := 0
+	emitLiteral := func(upto int) {
+		for lastEmit < upto {
+			n := upto - lastEmit
+			if n > 65535 {
+				n = 65535
+			}
+			out = append(out, tokLiteral)
+			out = binary.BigEndian.AppendUint16(out, uint16(n))
+			out = append(out, payload[lastEmit:lastEmit+n]...)
+			stats.LiteralBytes += uint64(n)
+			lastEmit += n
+		}
+	}
+
+	if len(payload) >= fpWindow {
+		h := windowHash(payload)
+		i := 0
+		for {
+			if i >= lastEmit && sampled(h) {
+				if pos, ok := cache.lookup(h, payload[i:i+fpWindow]); ok {
+					start, end, cstart := extendMatch(payload, i, pos, cache, lastEmit)
+					if end-start >= minMatch {
+						emitLiteral(start)
+						region := cache.read(cstart, end-start)
+						out = append(out, tokMatch)
+						out = binary.BigEndian.AppendUint64(out, cstart)
+						out = binary.BigEndian.AppendUint16(out, uint16(end-start))
+						out = binary.BigEndian.AppendUint32(out, regionChecksum(region))
+						stats.MatchBytes += uint64(end - start)
+						stats.Matches++
+						lastEmit = end
+						if end+fpWindow > len(payload) {
+							break
+						}
+						i = end
+						h = windowHash(payload[i:])
+						continue
+					}
+				}
+			}
+			if i+fpWindow >= len(payload) {
+				break
+			}
+			h = roll(h, payload[i], payload[i+fpWindow])
+			i++
+		}
+	}
+	emitLiteral(len(payload))
+
+	for _, c := range insertInto {
+		c.Insert(payload)
+	}
+	return out, stats
+}
+
+// extendMatch grows a window match [i, i+fpWindow) vs cache position pos in
+// both directions, bounded by the payload, the emitted prefix, and cache
+// residency. It returns the payload range [start, end) and the cache start.
+func extendMatch(payload []byte, i int, pos uint64, cache *Cache, lowBound int) (start, end int, cacheStart uint64) {
+	start, end = i, i+fpWindow
+	cacheStart = pos
+	// Extend left.
+	for start > lowBound && cacheStart > 0 && cache.resident(cacheStart-1, 1) &&
+		cache.byteAt(cacheStart-1) == payload[start-1] {
+		start--
+		cacheStart--
+	}
+	// Extend right.
+	cacheEnd := pos + fpWindow
+	for end < len(payload) && end-start < 65535 && cache.resident(cacheEnd, 1) &&
+		cache.byteAt(cacheEnd) == payload[end] {
+		end++
+		cacheEnd++
+	}
+	return start, end, cacheStart
+}
+
+type encodeStats struct {
+	LiteralBytes uint64
+	MatchBytes   uint64
+	Matches      uint64
+}
+
+// decode reconstructs the original payload from encoded bytes against the
+// decoder's cache. Match regions whose checksum fails (or that are not
+// resident) are zero-filled and counted as undecodable. The reconstructed
+// payload is then inserted into the cache, mirroring the encoder's insert.
+func decode(encoded []byte, cache *Cache) ([]byte, decodeStats, error) {
+	var stats decodeStats
+	if !IsEncoded(encoded) {
+		return nil, stats, fmt.Errorf("re: payload is not RE-encoded")
+	}
+	b := encoded[4:]
+	var out []byte
+	for len(b) > 0 {
+		switch b[0] {
+		case tokLiteral:
+			if len(b) < 3 {
+				return nil, stats, fmt.Errorf("re: truncated literal token")
+			}
+			n := int(binary.BigEndian.Uint16(b[1:3]))
+			if len(b) < 3+n {
+				return nil, stats, fmt.Errorf("re: truncated literal body")
+			}
+			out = append(out, b[3:3+n]...)
+			stats.LiteralBytes += uint64(n)
+			b = b[3+n:]
+		case tokMatch:
+			if len(b) < 15 {
+				return nil, stats, fmt.Errorf("re: truncated match token")
+			}
+			pos := binary.BigEndian.Uint64(b[1:9])
+			n := int(binary.BigEndian.Uint16(b[9:11]))
+			sum := binary.BigEndian.Uint32(b[11:15])
+			b = b[15:]
+			if cache.resident(pos, n) {
+				region := cache.read(pos, n)
+				if regionChecksum(region) == sum {
+					out = append(out, region...)
+					stats.MatchBytes += uint64(n)
+					stats.Matches++
+					break
+				}
+			}
+			// Desynchronized or evicted: the region cannot be
+			// recovered (§8.1.2: "none of the encoded bytes can be
+			// decoded").
+			out = append(out, make([]byte, n)...)
+			stats.UndecodableBytes += uint64(n)
+			stats.Failures++
+		default:
+			return nil, stats, fmt.Errorf("re: unknown token 0x%02x", b[0])
+		}
+	}
+	cache.Insert(out)
+	return out, stats, nil
+}
+
+type decodeStats struct {
+	LiteralBytes     uint64
+	MatchBytes       uint64
+	UndecodableBytes uint64
+	Matches          uint64
+	Failures         uint64
+}

@@ -1,0 +1,72 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeArbitraryBytesNeverPanics feeds random byte strings (with and
+// without the RE magic) through the decoder: malformed encodings must
+// return errors, never panic or read out of bounds.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n)%2048)
+		r.Read(b)
+		cache := NewCache(4096)
+		// Raw garbage: must be rejected as not encoded.
+		if _, _, err := decode(b, cache); err == nil && !IsEncoded(b) {
+			return false
+		}
+		// Garbage behind a valid magic: parse errors or zero-filled
+		// regions, never a panic.
+		withMagic := append(append([]byte(nil), encMagic[:]...), b...)
+		_, _, _ = decode(withMagic, cache)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalCacheArbitraryBytesNeverPanics does the same for the cache
+// wire format (what a corrupted shared-state blob would look like).
+func TestUnmarshalCacheArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n)%4096)
+		r.Read(b)
+		_, _ = UnmarshalCache(b)
+		// Also corrupt a VALID blob at a random position.
+		c := NewCache(2048)
+		c.Insert(randBytes(r, 300))
+		blob := c.Marshal()
+		if len(blob) > 0 {
+			blob[r.Intn(len(blob))] ^= 0xFF
+			_, _ = UnmarshalCache(blob)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeFromArbitraryBytes verifies merge rejects garbage without
+// corrupting the local cache.
+func TestMergeFromArbitraryBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	c := NewCache(4096)
+	c.Insert(randBytes(r, 500))
+	posBefore := c.InsertPos()
+	for i := 0; i < 100; i++ {
+		garbage := randBytes(r, r.Intn(512))
+		if err := c.MergeFrom(garbage); err == nil {
+			t.Fatal("garbage merge accepted")
+		}
+	}
+	if c.InsertPos() != posBefore {
+		t.Fatal("failed merges mutated the cache")
+	}
+}

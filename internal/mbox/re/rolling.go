@@ -1,0 +1,62 @@
+package re
+
+// Rolling Rabin-Karp-style fingerprinting over fixed windows, used to find
+// redundant regions between packet payloads and the packet cache. Window
+// positions are content-sampled: a window is an anchor when its fingerprint
+// has sampleBits trailing zero bits, giving an expected anchor density of
+// 1/2^sampleBits positions, independent of alignment (the property that
+// makes redundancy detectable across shifted payloads).
+
+const (
+	// fpWindow is the fingerprint window size in bytes.
+	fpWindow = 32
+	// fpBase is the polynomial base.
+	fpBase = 1000000007
+	// sampleBits sets anchor density to 1/16 window positions.
+	sampleBits = 4
+	sampleMask = 1<<sampleBits - 1
+)
+
+// fpBasePowW = fpBase^(fpWindow-1), precomputed for the rolling update.
+var fpBasePowW = func() uint64 {
+	v := uint64(1)
+	for i := 0; i < fpWindow-1; i++ {
+		v *= fpBase
+	}
+	return v
+}()
+
+// windowHash computes the fingerprint of b[:fpWindow].
+func windowHash(b []byte) uint64 {
+	var h uint64
+	for i := 0; i < fpWindow; i++ {
+		h = h*fpBase + uint64(b[i])
+	}
+	return h
+}
+
+// roll advances the hash by removing out and appending in.
+func roll(h uint64, out, in byte) uint64 {
+	return (h-uint64(out)*fpBasePowW)*fpBase + uint64(in)
+}
+
+// sampled reports whether fp is an anchor.
+func sampled(fp uint64) bool { return fp&sampleMask == 0 }
+
+// regionChecksum is an FNV-1a checksum over a matched region; match tokens
+// carry it so the decoder can verify its cache holds identical bytes at the
+// referenced position (strict position synchronization, as in the paper's
+// RE: "packet contents are stored locally at the exact same memory
+// locations").
+func regionChecksum(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}

@@ -1,0 +1,380 @@
+package mbox
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Sealer encrypts exported state chunks. Defaults to a sealer derived
+	// from the logic's Kind, so all instances of one middlebox type share
+	// a key and the controller cannot inspect blobs.
+	Sealer state.BlobSealer
+	// QueueSize bounds the ingress packet queue (default 8192).
+	QueueSize int
+	// Forward receives packets the logic emits (external side effects).
+	// Typically wired to a netsim port. Nil counts but discards.
+	Forward func(p *packet.Packet)
+}
+
+// Runtime hosts one middlebox instance: its logic, its southbound
+// connection, and its packet loop. It implements netsim.Endpoint so it can
+// be attached directly to the simulated network.
+type Runtime struct {
+	name   string
+	logic  Logic
+	sealer state.BlobSealer
+
+	in        chan *packet.Packet
+	inReplay  chan replayItem
+	stop      chan struct{}
+	stopOnce  sync.Once
+	workersWG sync.WaitGroup
+
+	// pending counts queued plus in-process packets, for Drain.
+	pending atomic.Int64
+
+	forwardMu sync.RWMutex
+	forward   func(p *packet.Packet)
+
+	conn   *sbi.Conn
+	connMu sync.RWMutex
+
+	// marks is the moved/cloned registry: per-flow keys and shared
+	// classes currently part of a controller transaction.
+	marksMu     sync.Mutex
+	movedKeys   map[touchRef]bool
+	sharedMoved map[state.Class]bool
+
+	filtersMu sync.Mutex
+	filters   []eventFilter
+
+	logMu sync.Mutex
+	logs  map[string][]string
+
+	eventSeq atomic.Uint64
+
+	// Metrics.
+	processed       atomic.Uint64
+	replayed        atomic.Uint64
+	eventsRaised    atomic.Uint64
+	introRaised     atomic.Uint64
+	suppressedEmits atomic.Uint64
+	suppressedLogs  atomic.Uint64
+	emitted         atomic.Uint64
+	activeOps       atomic.Int32
+	latNormalNS     atomic.Int64
+	latNormalN      atomic.Int64
+	latDuringOpNS   atomic.Int64
+	latDuringOpN    atomic.Int64
+}
+
+type eventFilter struct {
+	codePrefix string
+	match      packet.FieldMatch
+	enable     bool
+	// expires bounds the filter's lifetime; zero means no expiry
+	// (§4.2.2: events can be enabled "only for a limited period of
+	// time" to protect the controller from overload).
+	expires time.Time
+}
+
+// New creates a runtime for the given logic. The runtime's packet worker
+// starts immediately; connect it to a controller with Connect and to a
+// network with netsim's Attach.
+func New(name string, logic Logic, opts Options) *Runtime {
+	if opts.Sealer == nil {
+		opts.Sealer = state.NewSealer("openmb-mbtype-" + logic.Kind())
+	}
+	if opts.QueueSize == 0 {
+		opts.QueueSize = 8192
+	}
+	rt := &Runtime{
+		name:        name,
+		logic:       logic,
+		sealer:      opts.Sealer,
+		in:          make(chan *packet.Packet, opts.QueueSize),
+		inReplay:    make(chan replayItem, opts.QueueSize),
+		stop:        make(chan struct{}),
+		forward:     opts.Forward,
+		movedKeys:   map[touchRef]bool{},
+		sharedMoved: map[state.Class]bool{},
+		logs:        map[string][]string{},
+	}
+	rt.workersWG.Add(1)
+	go rt.worker()
+	return rt
+}
+
+// Name returns the instance name (e.g. "prads1").
+func (rt *Runtime) Name() string { return rt.name }
+
+// Logic returns the hosted middlebox logic.
+func (rt *Runtime) Logic() Logic { return rt.logic }
+
+// HandlePacket implements netsim.Endpoint: it enqueues the packet for
+// processing. If the queue is full the packet is dropped, as a loaded
+// middlebox would.
+func (rt *Runtime) HandlePacket(p *packet.Packet) {
+	rt.pending.Add(1)
+	select {
+	case rt.in <- p:
+	default:
+		rt.pending.Add(-1)
+	}
+}
+
+// SetForward replaces the emitted-packet sink.
+func (rt *Runtime) SetForward(fn func(p *packet.Packet)) {
+	rt.forwardMu.Lock()
+	rt.forward = fn
+	rt.forwardMu.Unlock()
+}
+
+func (rt *Runtime) forwardPacket(p *packet.Packet) {
+	rt.emitted.Add(1)
+	rt.forwardMu.RLock()
+	fn := rt.forward
+	rt.forwardMu.RUnlock()
+	if fn != nil {
+		fn(p)
+	}
+}
+
+// worker drains the ingress queues. Replayed packets (reprocess events) and
+// live packets are serialized through the same loop, so logic observes a
+// single-threaded packet stream, as the paper's per-Connection mutex
+// achieves for Bro.
+func (rt *Runtime) worker() {
+	defer rt.workersWG.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case item := <-rt.inReplay:
+			rt.process(item.p, true, item.shared)
+		case p := <-rt.in:
+			rt.process(p, false, false)
+		}
+	}
+}
+
+// replayItem is one queued reprocess event: the packet plus whether the
+// originating transaction covered shared state (which determines the state
+// classes the replay may update; see Context.SkipShared/SkipPerflow).
+type replayItem struct {
+	p      *packet.Packet
+	shared bool
+}
+
+func (rt *Runtime) process(p *packet.Packet, replay, replayShared bool) {
+	defer rt.pending.Add(-1)
+	start := time.Now()
+	ctx := &Context{rt: rt, Replay: replay, replayShared: replayShared}
+	rt.logic.Process(ctx, p)
+	elapsed := time.Since(start)
+	if rt.activeOps.Load() > 0 {
+		rt.latDuringOpNS.Add(int64(elapsed))
+		rt.latDuringOpN.Add(1)
+	} else {
+		rt.latNormalNS.Add(int64(elapsed))
+		rt.latNormalN.Add(1)
+	}
+	if replay {
+		rt.replayed.Add(1)
+		return
+	}
+	rt.processed.Add(1)
+	rt.maybeRaiseReprocess(ctx, p)
+}
+
+// maybeRaiseReprocess implements step 2 of §4.2.1: if the packet updated
+// state that is part of an in-progress move or clone (decided at Touch time,
+// under the logic's lock), send a reprocess event with a copy of the packet
+// toward the controller. At most one event is raised per packet; the
+// destination replays the whole packet, which renews every piece of state it
+// touches.
+func (rt *Runtime) maybeRaiseReprocess(ctx *Context, p *packet.Packet) {
+	if !ctx.raise {
+		return
+	}
+	key := ctx.raiseKey
+	if ctx.raiseShared {
+		key = p.Flow()
+	}
+	rt.eventsRaised.Add(1)
+	rt.sendEvent(&sbi.Event{
+		Kind:   sbi.EventReprocess,
+		Key:    key,
+		Class:  ctx.raiseClass,
+		Shared: ctx.raiseShared,
+		Packet: p.Marshal(nil),
+		Seq:    rt.eventSeq.Add(1),
+	})
+}
+
+func (rt *Runtime) raiseIntrospection(code string, key packet.FlowKey, values map[string]string) {
+	if !rt.filterAllows(code, key) {
+		return
+	}
+	rt.introRaised.Add(1)
+	rt.sendEvent(&sbi.Event{
+		Kind:   sbi.EventIntrospection,
+		Key:    key,
+		Code:   code,
+		Values: values,
+		Seq:    rt.eventSeq.Add(1),
+	})
+}
+
+// filterAllows evaluates introspection filters. Filters are evaluated in
+// reverse registration order; the most recent matching filter wins. With no
+// matching filter, events are disabled — the safe default against overload.
+func (rt *Runtime) filterAllows(code string, key packet.FlowKey) bool {
+	rt.filtersMu.Lock()
+	defer rt.filtersMu.Unlock()
+	for i := len(rt.filters) - 1; i >= 0; i-- {
+		f := rt.filters[i]
+		if !f.expires.IsZero() && time.Now().After(f.expires) {
+			continue
+		}
+		if len(f.codePrefix) <= len(code) && code[:len(f.codePrefix)] == f.codePrefix && f.match.MatchEither(key) {
+			return f.enable
+		}
+	}
+	return false
+}
+
+func (rt *Runtime) sendEvent(ev *sbi.Event) {
+	rt.connMu.RLock()
+	conn := rt.conn
+	rt.connMu.RUnlock()
+	if conn == nil {
+		return
+	}
+	// Send errors mean the controller is gone; the event is dropped, as
+	// it would be on a failed TCP connection.
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgEvent, Event: ev})
+}
+
+// markKey records that per-flow state (key, class) is part of a transaction.
+func (rt *Runtime) markKey(key packet.FlowKey, class state.Class) {
+	rt.marksMu.Lock()
+	rt.movedKeys[touchRef{key: key, class: class}] = true
+	rt.marksMu.Unlock()
+}
+
+// markShared records that shared state of class is part of a transaction.
+func (rt *Runtime) markShared(class state.Class) {
+	rt.marksMu.Lock()
+	rt.sharedMoved[class] = true
+	rt.marksMu.Unlock()
+}
+
+// clearMarks removes transaction marks for keys matching m (either
+// direction) in the given class, plus the shared mark if clearShared.
+func (rt *Runtime) clearMarks(m packet.FieldMatch, class state.Class, clearShared bool) {
+	rt.marksMu.Lock()
+	for ref := range rt.movedKeys {
+		if ref.class == class && m.MatchEither(ref.key) {
+			delete(rt.movedKeys, ref)
+		}
+	}
+	if clearShared {
+		delete(rt.sharedMoved, class)
+	}
+	rt.marksMu.Unlock()
+}
+
+// MarkedKeys returns the number of per-flow keys currently in transactions.
+func (rt *Runtime) MarkedKeys() int {
+	rt.marksMu.Lock()
+	defer rt.marksMu.Unlock()
+	return len(rt.movedKeys)
+}
+
+func (rt *Runtime) writeLog(stream, line string) {
+	rt.logMu.Lock()
+	rt.logs[stream] = append(rt.logs[stream], line)
+	rt.logMu.Unlock()
+}
+
+// Log returns a snapshot of the named log stream (e.g. "conn", "http").
+func (rt *Runtime) Log(stream string) []string {
+	rt.logMu.Lock()
+	defer rt.logMu.Unlock()
+	return append([]string(nil), rt.logs[stream]...)
+}
+
+// Drain blocks until the ingress queues are empty and no packet is being
+// processed, or the timeout elapses. Returns true if drained.
+func (rt *Runtime) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	streak := 0
+	for time.Now().Before(deadline) {
+		if rt.pending.Load() == 0 {
+			streak++
+			if streak >= 3 {
+				return true
+			}
+		} else {
+			streak = 0
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return rt.pending.Load() == 0
+}
+
+// Metrics is a snapshot of runtime counters.
+type Metrics struct {
+	Processed       uint64
+	Replayed        uint64
+	EventsRaised    uint64
+	IntroRaised     uint64
+	Emitted         uint64
+	SuppressedEmits uint64
+	SuppressedLogs  uint64
+	// LatencyNormal and LatencyDuringOp are mean per-packet processing
+	// latencies outside and inside southbound-operation windows.
+	LatencyNormal   time.Duration
+	LatencyDuringOp time.Duration
+}
+
+// Metrics returns a snapshot of the runtime's counters.
+func (rt *Runtime) Metrics() Metrics {
+	m := Metrics{
+		Processed:       rt.processed.Load(),
+		Replayed:        rt.replayed.Load(),
+		EventsRaised:    rt.eventsRaised.Load(),
+		IntroRaised:     rt.introRaised.Load(),
+		Emitted:         rt.emitted.Load(),
+		SuppressedEmits: rt.suppressedEmits.Load(),
+		SuppressedLogs:  rt.suppressedLogs.Load(),
+	}
+	if n := rt.latNormalN.Load(); n > 0 {
+		m.LatencyNormal = time.Duration(rt.latNormalNS.Load() / n)
+	}
+	if n := rt.latDuringOpN.Load(); n > 0 {
+		m.LatencyDuringOp = time.Duration(rt.latDuringOpNS.Load() / n)
+	}
+	return m
+}
+
+// Close stops the packet worker and closes the controller connection.
+func (rt *Runtime) Close() {
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		rt.connMu.Lock()
+		if rt.conn != nil {
+			rt.conn.Close()
+		}
+		rt.connMu.Unlock()
+	})
+	rt.workersWG.Wait()
+}

@@ -1,0 +1,293 @@
+package mbox
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// Connect dials the controller at addr over the given transport, announces
+// the middlebox, and starts the southbound service loop. It corresponds to
+// the paper's MBs connecting to the controller, which then launches one
+// thread for state operations and one for events per MB.
+func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
+	raw, err := tr.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("mbox: connect %q: %w", addr, err)
+	}
+	conn := sbi.NewConn(raw)
+	if err := conn.Send(&sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}); err != nil {
+		conn.Close()
+		return err
+	}
+	rt.connMu.Lock()
+	rt.conn = conn
+	rt.connMu.Unlock()
+	rt.workersWG.Add(1)
+	go rt.serveSouthbound(conn)
+	return nil
+}
+
+func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
+	defer rt.workersWG.Done()
+	for {
+		m, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		if m.Type != sbi.MsgRequest {
+			continue
+		}
+		// Requests are served on the southbound goroutine; the packet
+		// worker runs concurrently, so logic implementations lock
+		// per chunk (see Logic contract).
+		rt.serveRequest(conn, m)
+	}
+}
+
+func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
+	fail := func(err error) {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+	}
+	switch m.Op {
+	case sbi.OpGetConfig:
+		entries, err := rt.logic.Config().Export(m.Path)
+		if err != nil {
+			fail(err)
+			return
+		}
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Entries: entries, Count: len(entries)})
+
+	case sbi.OpSetConfig:
+		var err error
+		if len(m.Entries) > 0 {
+			// Bulk import: writeConfig(MB, "*", values) cloning.
+			err = rt.logic.Config().Import(m.Entries)
+		} else {
+			err = rt.logic.Config().Set(m.Path, m.Values)
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpDelConfig:
+		if err := rt.logic.Config().Del(m.Path); err != nil {
+			fail(err)
+			return
+		}
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpGetSupportPerflow:
+		rt.serveGetPerflow(conn, m, state.Supporting)
+	case sbi.OpGetReportPerflow:
+		rt.serveGetPerflow(conn, m, state.Reporting)
+
+	case sbi.OpPutSupportPerflow:
+		rt.servePutPerflow(conn, m, state.Supporting)
+	case sbi.OpPutReportPerflow:
+		rt.servePutPerflow(conn, m, state.Reporting)
+
+	case sbi.OpDelSupportPerflow:
+		rt.serveDelPerflow(conn, m, state.Supporting)
+	case sbi.OpDelReportPerflow:
+		rt.serveDelPerflow(conn, m, state.Reporting)
+
+	case sbi.OpGetSupportShared:
+		rt.serveGetShared(conn, m, state.Supporting)
+	case sbi.OpGetReportShared:
+		rt.serveGetShared(conn, m, state.Reporting)
+
+	case sbi.OpPutSupportShared:
+		rt.servePutShared(conn, m, state.Supporting)
+	case sbi.OpPutReportShared:
+		rt.servePutShared(conn, m, state.Reporting)
+
+	case sbi.OpStats:
+		s := rt.logic.Stats(m.Match)
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Stats: &s})
+
+	case sbi.OpSetEventFilter:
+		f := eventFilter{codePrefix: m.Path, match: m.Match, enable: m.Enable}
+		if m.TTLNanos > 0 {
+			f.expires = time.Now().Add(time.Duration(m.TTLNanos))
+		}
+		rt.filtersMu.Lock()
+		rt.filters = append(rt.filters, f)
+		rt.filtersMu.Unlock()
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpEndTransaction:
+		if m.Enable {
+			rt.marksMu.Lock()
+			rt.sharedMoved = map[state.Class]bool{}
+			rt.marksMu.Unlock()
+		} else {
+			rt.clearMarks(m.Match, state.Supporting, false)
+			rt.clearMarks(m.Match, state.Reporting, false)
+		}
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpReprocess:
+		if m.Event == nil || len(m.Event.Packet) == 0 {
+			fail(fmt.Errorf("mbox: reprocess without packet"))
+			return
+		}
+		var p packet.Packet
+		if err := p.Unmarshal(m.Event.Packet); err != nil {
+			fail(err)
+			return
+		}
+		rt.enqueueReplay(&p, m.Event.Shared)
+		// Reprocess events are not individually acknowledged (Figure 5
+		// tracks ACKs only for puts).
+
+	default:
+		fail(fmt.Errorf("mbox: unknown op %q", m.Op))
+	}
+}
+
+func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
+	rt.activeOps.Add(1)
+	defer rt.activeOps.Add(-1)
+	count := 0
+	err := rt.logic.GetPerflow(class, m.Match, func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error {
+		// build invokes mark under the logic's lock immediately before
+		// serializing, so the moved-mark and the snapshot are atomic:
+		// every packet update is either inside the blob or covered by
+		// a reprocess event, never both and never neither.
+		blob, err := build(func() { rt.markKey(key, class) })
+		if err != nil {
+			return err
+		}
+		if m.Compressed {
+			blob = deflate(blob)
+		}
+		sealed := rt.sealer.Seal(blob)
+		count++
+		return conn.Send(&sbi.Message{
+			Type: sbi.MsgChunk, ID: m.ID,
+			Chunk:      &state.Chunk{Key: key, Blob: sealed},
+			Compressed: m.Compressed,
+		})
+	})
+	if err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	// The get's ACK (Figure 5): all matching chunks have been exported.
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: count})
+}
+
+func (rt *Runtime) servePutPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
+	rt.activeOps.Add(1)
+	defer rt.activeOps.Add(-1)
+	if m.Chunk == nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: "mbox: put without chunk"})
+		return
+	}
+	blob, err := rt.sealer.Open(m.Chunk.Blob)
+	if err == nil && m.Compressed {
+		blob, err = inflate(blob)
+	}
+	if err == nil {
+		err = rt.logic.PutPerflow(class, state.Chunk{Key: m.Chunk.Key, Blob: blob})
+	}
+	if err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	// The put's ACK: the chunk is installed and replayed events for this
+	// key may now be applied.
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 1})
+}
+
+func (rt *Runtime) serveDelPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
+	rt.activeOps.Add(1)
+	defer rt.activeOps.Add(-1)
+	n, err := rt.logic.DelPerflow(class, m.Match)
+	if err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	// Completing a move ends the transaction for these keys; Enable
+	// doubles as "also clear the shared mark" for clone/merge endings.
+	rt.clearMarks(m.Match, class, m.Enable)
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: n})
+}
+
+func (rt *Runtime) serveGetShared(conn *sbi.Conn, m *sbi.Message, class state.Class) {
+	rt.activeOps.Add(1)
+	defer rt.activeOps.Add(-1)
+	blob, err := rt.logic.GetShared(class, func() { rt.markShared(class) })
+	if errors.Is(err, ErrNoSharedState) {
+		// Absent class: an empty transfer, not a failure (Count 0).
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 0})
+		return
+	}
+	if err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	if m.Compressed {
+		blob = deflate(blob)
+	}
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Blob: rt.sealer.Seal(blob), Compressed: m.Compressed, Count: 1})
+}
+
+func (rt *Runtime) servePutShared(conn *sbi.Conn, m *sbi.Message, class state.Class) {
+	rt.activeOps.Add(1)
+	defer rt.activeOps.Add(-1)
+	blob, err := rt.sealer.Open(m.Blob)
+	if err == nil && m.Compressed {
+		blob, err = inflate(blob)
+	}
+	if err == nil {
+		err = rt.logic.PutShared(class, blob)
+	}
+	if err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 1})
+}
+
+func (rt *Runtime) enqueueReplay(p *packet.Packet, shared bool) {
+	rt.pending.Add(1)
+	select {
+	case rt.inReplay <- replayItem{p: p, shared: shared}:
+	default:
+		rt.pending.Add(-1)
+	}
+}
+
+// deflate compresses b with flate at default compression.
+func deflate(b []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		panic("mbox: flate: " + err.Error())
+	}
+	if _, err := w.Write(b); err != nil {
+		panic("mbox: flate write: " + err.Error())
+	}
+	if err := w.Close(); err != nil {
+		panic("mbox: flate close: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// inflate reverses deflate.
+func inflate(b []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	defer r.Close()
+	return io.ReadAll(r)
+}

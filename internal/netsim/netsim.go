@@ -1,0 +1,286 @@
+// Package netsim is the network substrate OpenMB runs on: software switches
+// with priority flow tables, links with configurable latency, and host
+// endpoints. It substitutes for the paper's OpenFlow testbed (an HP ProCurve
+// 5400 switch plus desktops) while preserving the property the evaluation
+// depends on: packets are in flight asynchronously, so state operations and
+// routing updates race exactly as they do on a physical network.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmb/internal/packet"
+)
+
+// Endpoint is anything attachable to the network: a switch, a host, or a
+// middlebox adapter. HandlePacket is invoked on a link-delivery goroutine
+// and must not block indefinitely.
+type Endpoint interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// Fault is a link-level fault injection verdict.
+type Fault int
+
+// Fault verdicts.
+const (
+	FaultNone Fault = iota
+	FaultDrop
+	FaultDuplicate
+)
+
+// Network owns endpoints and links. All methods are safe for concurrent use.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[string]Endpoint
+	links     map[string]map[string]*link
+	stopped   bool
+
+	// inflight counts packets queued on links plus deliveries in
+	// progress; Quiesce waits for it to reach zero.
+	inflight atomic.Int64
+	// delivered counts total link deliveries.
+	delivered atomic.Uint64
+	// dropped counts fault-injected drops.
+	dropped atomic.Uint64
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		endpoints: map[string]Endpoint{},
+		links:     map[string]map[string]*link{},
+	}
+}
+
+// ErrNoSuchEndpoint is returned for sends to unattached names.
+var ErrNoSuchEndpoint = errors.New("netsim: no such endpoint")
+
+// ErrNoLink is returned for sends between unconnected endpoints.
+var ErrNoLink = errors.New("netsim: no link between endpoints")
+
+// Attach registers an endpoint under name. Attaching a name twice replaces
+// the endpoint (used by failover scenarios to swap in a replacement MB).
+func (n *Network) Attach(name string, ep Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[name] = ep
+}
+
+// Endpoint returns the endpoint attached under name, or nil.
+func (n *Network) Endpoint(name string) Endpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.endpoints[name]
+}
+
+// Connect creates a bidirectional link between two attached endpoints with
+// the given one-way latency.
+func (n *Network) Connect(a, b string, latency time.Duration) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchEndpoint, a)
+	}
+	if _, ok := n.endpoints[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchEndpoint, b)
+	}
+	n.addLink(a, b, latency)
+	n.addLink(b, a, latency)
+	return nil
+}
+
+func (n *Network) addLink(from, to string, latency time.Duration) {
+	if n.links[from] == nil {
+		n.links[from] = map[string]*link{}
+	}
+	if _, ok := n.links[from][to]; ok {
+		return
+	}
+	l := &link{
+		net: n, from: from, to: to, latency: latency,
+		queue: make(chan *packet.Packet, 4096),
+		done:  make(chan struct{}),
+	}
+	n.links[from][to] = l
+	go l.pump()
+}
+
+// SetFault installs a fault-injection hook on the from->to link. The hook
+// runs for every packet; return FaultDrop to discard or FaultDuplicate to
+// deliver twice. Pass nil to clear.
+func (n *Network) SetFault(from, to string, hook func(*packet.Packet) Fault) error {
+	n.mu.RLock()
+	l := n.linkLocked(from, to)
+	n.mu.RUnlock()
+	if l == nil {
+		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
+	}
+	l.fault.Store(&hook)
+	return nil
+}
+
+func (n *Network) linkLocked(from, to string) *link {
+	if m := n.links[from]; m != nil {
+		return m[to]
+	}
+	return nil
+}
+
+// Send queues p on the from->to link. The packet is delivered to the remote
+// endpoint after the link latency.
+func (n *Network) Send(from, to string, p *packet.Packet) error {
+	n.mu.RLock()
+	l := n.linkLocked(from, to)
+	stopped := n.stopped
+	n.mu.RUnlock()
+	if stopped {
+		return errors.New("netsim: network stopped")
+	}
+	if l == nil {
+		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
+	}
+	n.inflight.Add(1)
+	select {
+	case l.queue <- p:
+		return nil
+	case <-l.done:
+		n.inflight.Add(-1)
+		return errors.New("netsim: link closed")
+	}
+}
+
+// Inject delivers p directly to the named endpoint, modeling an external
+// packet arrival (trace replay at a host or border port).
+func (n *Network) Inject(at string, p *packet.Packet) error {
+	n.mu.RLock()
+	ep := n.endpoints[at]
+	n.mu.RUnlock()
+	if ep == nil {
+		return fmt.Errorf("%w: %q", ErrNoSuchEndpoint, at)
+	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	ep.HandlePacket(p)
+	return nil
+}
+
+// Quiesce blocks until no packets are queued or being delivered, or the
+// timeout elapses. It returns true if the network went idle. Endpoints with
+// internal queues (middlebox runtimes) have their own drain methods; harness
+// code alternates between the two until stable.
+func (n *Network) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	idleStreak := 0
+	for time.Now().Before(deadline) {
+		if n.inflight.Load() == 0 {
+			idleStreak++
+			if idleStreak >= 3 {
+				return true
+			}
+		} else {
+			idleStreak = 0
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return n.inflight.Load() == 0
+}
+
+// Delivered returns the count of link deliveries since creation.
+func (n *Network) Delivered() uint64 { return n.delivered.Load() }
+
+// Dropped returns the count of fault-injected drops.
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
+
+// Stop closes all links. Sends after Stop fail.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for _, m := range n.links {
+		for _, l := range m {
+			l.close()
+		}
+	}
+}
+
+type link struct {
+	net     *Network
+	from    string
+	to      string
+	latency time.Duration
+	queue   chan *packet.Packet
+	done    chan struct{}
+	once    sync.Once
+	fault   atomic.Pointer[func(*packet.Packet) Fault]
+}
+
+func (l *link) close() { l.once.Do(func() { close(l.done) }) }
+
+func (l *link) pump() {
+	for {
+		select {
+		case <-l.done:
+			// Drain anything still queued so inflight reaches zero.
+			for {
+				select {
+				case <-l.queue:
+					l.net.inflight.Add(-1)
+				default:
+					return
+				}
+			}
+		case p := <-l.queue:
+			if l.latency > 0 {
+				time.Sleep(l.latency)
+			}
+			verdict := FaultNone
+			if h := l.fault.Load(); h != nil && *h != nil {
+				verdict = (*h)(p)
+			}
+			switch verdict {
+			case FaultDrop:
+				l.net.dropped.Add(1)
+			case FaultDuplicate:
+				l.deliver(p)
+				l.deliver(p.Clone())
+			default:
+				l.deliver(p)
+			}
+			l.net.inflight.Add(-1)
+		}
+	}
+}
+
+func (l *link) deliver(p *packet.Packet) {
+	l.net.mu.RLock()
+	ep := l.net.endpoints[l.to]
+	l.net.mu.RUnlock()
+	if ep != nil {
+		ep.HandlePacket(p)
+		l.net.delivered.Add(1)
+	}
+}
+
+// DropFraction returns a fault hook dropping packets with probability p,
+// using a deterministic seeded source.
+func DropFraction(p float64, seed int64) func(*packet.Packet) Fault {
+	r := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(*packet.Packet) Fault {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.Float64() < p {
+			return FaultDrop
+		}
+		return FaultNone
+	}
+}

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"openmb/internal/packet"
+)
+
+// Rule specifies one flow-table entry. Higher priority wins; among equal
+// priorities, the most recently installed entry wins (matching common switch
+// behaviour for exact replacements). A rule may output to several ports
+// (used to mirror traffic to a standby middlebox in the failure-recovery
+// scenario).
+type Rule struct {
+	// ID identifies the rule for removal; the SDN controller assigns it.
+	ID       string
+	Priority int
+	Match    packet.FieldMatch
+	// OutPorts names neighbor endpoints to forward to. Empty means drop.
+	OutPorts []string
+}
+
+// InstalledRule is a Rule resident in a flow table, with match statistics.
+type InstalledRule struct {
+	Rule
+	packets atomic.Uint64
+}
+
+// Packets returns how many packets have matched this rule.
+func (r *InstalledRule) Packets() uint64 { return r.packets.Load() }
+
+// Switch is a software switch with a priority flow table. The zero value is
+// not usable; create with NewSwitch and attach to a Network.
+type Switch struct {
+	name string
+	net  *Network
+
+	mu    sync.RWMutex
+	rules []*InstalledRule // sorted: priority desc, insertion order desc
+
+	tableMisses atomic.Uint64
+	forwarded   atomic.Uint64
+	seq         uint64
+}
+
+// NewSwitch creates a switch and attaches it to the network under name.
+func NewSwitch(n *Network, name string) *Switch {
+	s := &Switch{name: name, net: n}
+	n.Attach(name, s)
+	return s
+}
+
+// Name returns the switch's network name.
+func (s *Switch) Name() string { return s.name }
+
+// Install adds a rule to the flow table and returns the installed entry. If
+// r.ID is empty a unique one is generated.
+func (s *Switch) Install(r Rule) *InstalledRule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	if r.ID == "" {
+		r.ID = s.name + "-rule-" + itoa(s.seq)
+	}
+	nr := &InstalledRule{Rule: Rule{ID: r.ID, Priority: r.Priority, Match: r.Match, OutPorts: append([]string(nil), r.OutPorts...)}}
+	s.rules = append(s.rules, nr)
+	// Stable sort by priority desc; equal priorities keep insertion order,
+	// and lookup scans from the end of each priority class so newer wins.
+	sort.SliceStable(s.rules, func(i, j int) bool { return s.rules[i].Priority > s.rules[j].Priority })
+	return nr
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Remove deletes the rule with the given ID. It reports whether a rule was
+// removed.
+func (s *Switch) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rules {
+		if r.ID == id {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns a snapshot of the flow table in match order.
+func (s *Switch) Rules() []*InstalledRule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*InstalledRule(nil), s.rules...)
+}
+
+// TableMisses returns the count of packets that matched no rule.
+func (s *Switch) TableMisses() uint64 { return s.tableMisses.Load() }
+
+// Forwarded returns the count of packet forwards (one per output port).
+func (s *Switch) Forwarded() uint64 { return s.forwarded.Load() }
+
+// HandlePacket looks up the flow table and forwards the packet. Within a
+// priority class the most recently installed matching rule wins.
+func (s *Switch) HandlePacket(p *packet.Packet) {
+	s.mu.RLock()
+	var hit *InstalledRule
+	for i := 0; i < len(s.rules); i++ {
+		r := s.rules[i]
+		if hit != nil && r.Priority < hit.Priority {
+			break
+		}
+		if r.Match.Match(p.Flow()) {
+			hit = r // later entries at same priority overwrite
+		}
+	}
+	s.mu.RUnlock()
+	if hit == nil {
+		s.tableMisses.Add(1)
+		return
+	}
+	hit.packets.Add(1)
+	for i, port := range hit.OutPorts {
+		out := p
+		if i > 0 {
+			out = p.Clone()
+		}
+		if err := s.net.Send(s.name, port, out); err != nil {
+			// Forwarding to a detached port mirrors a real switch
+			// sending into a dead link: the packet is lost, which
+			// the experiments observe as a table-level drop.
+			s.tableMisses.Add(1)
+			continue
+		}
+		s.forwarded.Add(1)
+	}
+}
+
+// Host is a terminal endpoint. It records received packets (bounded) and
+// optionally invokes a callback per packet.
+type Host struct {
+	name string
+	net  *Network
+
+	// OnPacket, if non-nil, runs for every delivered packet before it is
+	// recorded. Set it before traffic starts.
+	OnPacket func(p *packet.Packet)
+
+	mu       sync.Mutex
+	received []*packet.Packet
+	limit    int
+	count    uint64
+}
+
+// NewHost creates a host endpoint attached under name. It retains up to
+// limit received packets (0 means 65536).
+func NewHost(n *Network, name string, limit int) *Host {
+	if limit == 0 {
+		limit = 65536
+	}
+	h := &Host{name: name, net: n, limit: limit}
+	n.Attach(name, h)
+	return h
+}
+
+// Name returns the host's network name.
+func (h *Host) Name() string { return h.name }
+
+// HandlePacket records the packet.
+func (h *Host) HandlePacket(p *packet.Packet) {
+	if h.OnPacket != nil {
+		h.OnPacket(p)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	if len(h.received) < h.limit {
+		h.received = append(h.received, p)
+	}
+}
+
+// Send transmits a packet toward a connected neighbor.
+func (h *Host) Send(to string, p *packet.Packet) error { return h.net.Send(h.name, to, p) }
+
+// Received returns a snapshot of recorded packets.
+func (h *Host) Received() []*packet.Packet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*packet.Packet(nil), h.received...)
+}
+
+// Count returns the total packets delivered (including beyond the record
+// limit).
+func (h *Host) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Reset clears the recorded packets and count.
+func (h *Host) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.received = nil
+	h.count = 0
+}

@@ -1,0 +1,227 @@
+// Package packet provides the packet model used throughout OpenMB: a small,
+// allocation-conscious layer stack (Ethernet, IPv4, TCP, UDP, ICMP) with
+// binary marshaling, flow identification, and the header-field match lists
+// that the southbound and northbound APIs use to name per-flow state.
+//
+// The design follows the conventions of mature Go packet libraries: layers
+// are decoded into preallocated structs, flows and endpoints are comparable
+// values usable as map keys, and a symmetric FastHash supports load
+// balancing where A->B and B->A must land in the same bucket.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol numbers used in the IPv4 header. Only the protocols the
+// middleboxes understand are defined; anything else is carried opaquely.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+)
+
+// Errors returned by Parse.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+)
+
+// Packet is a decoded packet. Header fields are stored unpacked so that
+// middlebox logic can inspect them without re-parsing; Payload aliases the
+// application bytes. A Packet is self-contained: Marshal regenerates the
+// wire form.
+type Packet struct {
+	// SrcIP and DstIP are the IPv4 endpoints.
+	SrcIP, DstIP netip.Addr
+	// Proto is one of ProtoICMP, ProtoTCP, ProtoUDP.
+	Proto uint8
+	// SrcPort and DstPort are transport ports (zero for ICMP).
+	SrcPort, DstPort uint16
+	// Seq is the TCP sequence number (zero otherwise).
+	Seq uint32
+	// Ack is the TCP acknowledgment number (zero otherwise).
+	Ack uint32
+	// Flags holds TCP flag bits (zero otherwise).
+	Flags uint8
+	// TTL is the IPv4 time-to-live.
+	TTL uint8
+	// ID is the IPv4 identification field; traces use it as a per-flow
+	// sequence number so experiments can detect loss and reordering.
+	ID uint16
+	// Payload is the application payload.
+	Payload []byte
+	// Timestamp is the trace or arrival time in nanoseconds since the
+	// start of the run. It is metadata, not serialized on the wire.
+	Timestamp int64
+}
+
+// headerLen is the fixed encoding size before the payload: a 2-byte length
+// prefix is not included here; see Marshal.
+const headerLen = 1 + 4 + 4 + 2 + 2 + 4 + 4 + 1 + 1 + 2 // 25
+
+// MarshaledSize returns the exact length of Marshal's output.
+func (p *Packet) MarshaledSize() int { return headerLen + len(p.Payload) }
+
+// Marshal appends the wire form of p to b and returns the extended slice.
+// The format is a compact fixed header followed by the payload; it is the
+// repository's native trace/wire format (the simulator carries *Packet
+// values directly, so no per-hop marshaling happens on the fast path).
+func (p *Packet) Marshal(b []byte) []byte {
+	var hdr [headerLen]byte
+	hdr[0] = p.Proto
+	src := p.SrcIP.As4()
+	dst := p.DstIP.As4()
+	copy(hdr[1:5], src[:])
+	copy(hdr[5:9], dst[:])
+	binary.BigEndian.PutUint16(hdr[9:11], p.SrcPort)
+	binary.BigEndian.PutUint16(hdr[11:13], p.DstPort)
+	binary.BigEndian.PutUint32(hdr[13:17], p.Seq)
+	binary.BigEndian.PutUint32(hdr[17:21], p.Ack)
+	hdr[21] = p.Flags
+	hdr[22] = p.TTL
+	binary.BigEndian.PutUint16(hdr[23:25], p.ID)
+	b = append(b, hdr[:]...)
+	return append(b, p.Payload...)
+}
+
+// Unmarshal decodes the wire form produced by Marshal. The payload aliases b.
+func (p *Packet) Unmarshal(b []byte) error {
+	if len(b) < headerLen {
+		return ErrTruncated
+	}
+	p.Proto = b[0]
+	p.SrcIP = netip.AddrFrom4([4]byte(b[1:5]))
+	p.DstIP = netip.AddrFrom4([4]byte(b[5:9]))
+	p.SrcPort = binary.BigEndian.Uint16(b[9:11])
+	p.DstPort = binary.BigEndian.Uint16(b[11:13])
+	p.Seq = binary.BigEndian.Uint32(b[13:17])
+	p.Ack = binary.BigEndian.Uint32(b[17:21])
+	p.Flags = b[21]
+	p.TTL = b[22]
+	p.ID = binary.BigEndian.Uint16(b[23:25])
+	p.Payload = b[headerLen:]
+	return nil
+}
+
+// Clone returns a deep copy of p, including the payload. Middleboxes clone
+// packets before attaching them to reprocess events so later in-place reuse
+// of trace buffers cannot corrupt the event.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+// Flow returns the directed flow key of the packet.
+func (p *Packet) Flow() FlowKey {
+	return FlowKey{
+		SrcIP:   p.SrcIP,
+		DstIP:   p.DstIP,
+		Proto:   p.Proto,
+		SrcPort: p.SrcPort,
+		DstPort: p.DstPort,
+	}
+}
+
+// String renders a compact human-readable form for logs.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s len=%d", p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, protoName(p.Proto), len(p.Payload))
+}
+
+func protoName(proto uint8) string {
+	switch proto {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	}
+	return fmt.Sprintf("proto%d", proto)
+}
+
+// FlowKey is a directed 5-tuple. It is comparable and therefore usable as a
+// map key; middleboxes index per-flow state by (possibly masked) FlowKeys.
+type FlowKey struct {
+	SrcIP, DstIP     netip.Addr
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, Proto: k.Proto, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Canonical returns the direction-independent form of the key: the endpoint
+// that compares lower is placed first. Both directions of a connection map
+// to the same canonical key, which is how connection tables index sessions.
+func (k FlowKey) Canonical() FlowKey {
+	if endpointLess(k.DstIP, k.DstPort, k.SrcIP, k.SrcPort) {
+		return k.Reverse()
+	}
+	return k
+}
+
+func endpointLess(aIP netip.Addr, aPort uint16, bIP netip.Addr, bPort uint16) bool {
+	switch aIP.Compare(bIP) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	return aPort < bPort
+}
+
+// FastHash returns a symmetric 64-bit hash: k and k.Reverse() hash equal.
+// It is an FNV-1a variant over the canonical key, suitable for sharding
+// flows across workers while keeping both directions together.
+func (k FlowKey) FastHash() uint64 {
+	c := k.Canonical()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	src := c.SrcIP.As4()
+	dst := c.DstIP.As4()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(c.SrcPort >> 8))
+	mix(byte(c.SrcPort))
+	mix(byte(c.DstPort >> 8))
+	mix(byte(c.DstPort))
+	mix(c.Proto)
+	return h
+}
+
+// String renders the key as "src:port>dst:port/proto".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, protoName(k.Proto))
+}

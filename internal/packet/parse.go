@@ -1,0 +1,60 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseFlowKey parses the String form of a FlowKey:
+// "src:port>dst:port/proto", e.g. "10.0.0.1:1234>192.168.1.2:80/tcp".
+func ParseFlowKey(s string) (FlowKey, error) {
+	var k FlowKey
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return k, fmt.Errorf("packet: flow key %q: missing protocol", s)
+	}
+	switch proto := s[slash+1:]; proto {
+	case "tcp":
+		k.Proto = ProtoTCP
+	case "udp":
+		k.Proto = ProtoUDP
+	case "icmp":
+		k.Proto = ProtoICMP
+	default:
+		n, err := strconv.Atoi(strings.TrimPrefix(proto, "proto"))
+		if err != nil || n < 0 || n > 255 {
+			return k, fmt.Errorf("packet: flow key %q: bad protocol %q", s, proto)
+		}
+		k.Proto = uint8(n)
+	}
+	dirs := strings.SplitN(s[:slash], ">", 2)
+	if len(dirs) != 2 {
+		return k, fmt.Errorf("packet: flow key %q: missing direction separator", s)
+	}
+	var err error
+	if k.SrcIP, k.SrcPort, err = parseEndpoint(dirs[0]); err != nil {
+		return k, fmt.Errorf("packet: flow key %q: %w", s, err)
+	}
+	if k.DstIP, k.DstPort, err = parseEndpoint(dirs[1]); err != nil {
+		return k, fmt.Errorf("packet: flow key %q: %w", s, err)
+	}
+	return k, nil
+}
+
+func parseEndpoint(s string) (netip.Addr, uint16, error) {
+	colon := strings.LastIndexByte(s, ':')
+	if colon < 0 {
+		return netip.Addr{}, 0, fmt.Errorf("endpoint %q: missing port", s)
+	}
+	a, err := netip.ParseAddr(s[:colon])
+	if err != nil {
+		return netip.Addr{}, 0, err
+	}
+	port, err := strconv.Atoi(s[colon+1:])
+	if err != nil || port < 0 || port > 65535 {
+		return netip.Addr{}, 0, fmt.Errorf("endpoint %q: bad port", s)
+	}
+	return a, uint16(port), nil
+}

@@ -1,0 +1,84 @@
+package sbi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"openmb/internal/packet"
+)
+
+func parseFlowKey(s string) (packet.FlowKey, error) { return packet.ParseFlowKey(s) }
+
+// Conn frames Messages over a byte stream. Send is safe for concurrent use;
+// the paper's controller dedicates one thread per MB to state operations and
+// one to events, both of which write to the same connection.
+type Conn struct {
+	raw net.Conn
+	enc *json.Encoder
+	dec *json.Decoder
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// Stats counters, read via Counters. Updated under sendMu/recvMu.
+	sent, received uint64
+}
+
+// NewConn wraps a transport connection.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: json.NewEncoder(raw), dec: json.NewDecoder(raw)}
+}
+
+// Send encodes one message. It may be called from multiple goroutines.
+func (c *Conn) Send(m *Message) error {
+	m.prepare()
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("sbi: send: %w", err)
+	}
+	c.sent++
+	return nil
+}
+
+// Receive decodes the next message. Only one goroutine should receive.
+func (c *Conn) Receive() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("sbi: receive: %w", err)
+	}
+	if err := m.finish(); err != nil {
+		return nil, fmt.Errorf("sbi: receive: %w", err)
+	}
+	c.received++
+	return &m, nil
+}
+
+// Counters returns the number of messages sent and received.
+func (c *Conn) Counters() (sent, received uint64) {
+	c.sendMu.Lock()
+	sent = c.sent
+	c.sendMu.Unlock()
+	c.recvMu.Lock()
+	received = c.received
+	c.recvMu.Unlock()
+	return sent, received
+}
+
+// Close closes the underlying transport. Safe to call multiple times.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	return c.closeErr
+}

@@ -1,0 +1,191 @@
+// Package sbi implements the MB-facing ("southbound") API of OpenMB (§4 of
+// the paper): the wire protocol middleboxes use to receive and export state
+// and to raise events toward the MB controller.
+//
+// Messages are newline-delimited JSON, as in the paper's prototype (which
+// exchanged JSON over UNIX sockets using JSON-C). Two transports are
+// provided: TCP for deployments (cmd/openmb-controller and cmd/openmb-mb)
+// and an in-memory pipe transport for deterministic tests and benchmarks.
+package sbi
+
+import (
+	"openmb/internal/packet"
+	"openmb/internal/state"
+)
+
+// Op names a southbound state operation (§4.1). The names match the paper.
+type Op string
+
+// Southbound operations. Config ops take Path/Values; per-flow ops take
+// Match (the HeaderFieldList); shared ops carry a single Blob.
+const (
+	OpGetConfig Op = "getConfig"
+	OpSetConfig Op = "setConfig"
+	OpDelConfig Op = "delConfig"
+
+	OpGetSupportPerflow Op = "getSupportPerflow"
+	OpPutSupportPerflow Op = "putSupportPerflow"
+	OpDelSupportPerflow Op = "delSupportPerflow"
+	OpGetSupportShared  Op = "getSupportShared"
+	OpPutSupportShared  Op = "putSupportShared"
+
+	OpGetReportPerflow Op = "getReportPerflow"
+	OpPutReportPerflow Op = "putReportPerflow"
+	OpDelReportPerflow Op = "delReportPerflow"
+	OpGetReportShared  Op = "getReportShared"
+	OpPutReportShared  Op = "putReportShared"
+
+	// OpStats reports how much shared and per-flow supporting and
+	// reporting state exists for a given key (backs the northbound
+	// stats() call of §5).
+	OpStats Op = "stats"
+
+	// OpSetEventFilter enables or disables introspection event generation
+	// for an event-code prefix and flow match (§4.2.2).
+	OpSetEventFilter Op = "setEventFilter"
+
+	// OpReprocess delivers a buffered reprocess event's packet to the
+	// destination MB of a move/clone; the MB updates state but suppresses
+	// external side effects (§4.2.1 step 3).
+	OpReprocess Op = "reprocess"
+
+	// OpEndTransaction tells a source MB that a controller transaction
+	// has finished, clearing its moved/cloned marks so it stops raising
+	// reprocess events. With Enable set it clears shared-state marks;
+	// otherwise it clears per-flow marks matching Match. For moves the
+	// del operations already clear marks; this op exists for clones and
+	// merges, which must not delete state (§5: "no delete operation is
+	// called when events stop arriving").
+	OpEndTransaction Op = "endTransaction"
+)
+
+// MsgType discriminates wire messages.
+type MsgType string
+
+// Wire message types.
+const (
+	// MsgHello is sent by an MB immediately after connecting.
+	MsgHello MsgType = "hello"
+	// MsgRequest is a controller-to-MB operation request.
+	MsgRequest MsgType = "request"
+	// MsgChunk streams one piece of per-flow state (MB-to-controller, in
+	// response to a get) — the [HeaderFieldList:EncryptedChunk] pair.
+	MsgChunk MsgType = "chunk"
+	// MsgDone completes a request: the ACK of Figure 5. For get streams
+	// it follows the last chunk; for puts it acknowledges installation.
+	MsgDone MsgType = "done"
+	// MsgEvent carries a reprocess or introspection event (MB-initiated).
+	MsgEvent MsgType = "event"
+	// MsgError reports a failed request.
+	MsgError MsgType = "error"
+)
+
+// EventKind discriminates MB-raised events (§4.2).
+type EventKind string
+
+// Event kinds.
+const (
+	// EventReprocess asks the move/clone destination to re-process a
+	// packet that updated in-transaction state at the source (§4.2.1).
+	EventReprocess EventKind = "reprocess"
+	// EventIntrospection announces that the MB established or updated
+	// internal state, without revealing why (§4.2.2).
+	EventIntrospection EventKind = "introspection"
+)
+
+// Event is an MB-raised notification. Reprocess events carry the triggering
+// packet; introspection events carry a code (e.g. "nat.mapping.created") and
+// MB-specific values. Both always include the key identifying the state.
+type Event struct {
+	Kind   EventKind         `json:"kind"`
+	Key    packet.FlowKey    `json:"-"`
+	KeyStr string            `json:"key"`
+	Code   string            `json:"code,omitempty"`
+	Packet []byte            `json:"packet,omitempty"`
+	Values map[string]string `json:"values,omitempty"`
+	// Seq is a per-MB monotone sequence number; the controller uses it to
+	// preserve event order while buffering (§5).
+	Seq uint64 `json:"seq"`
+	// Class tells the controller which state class the event concerns,
+	// so reprocess buffering can be matched to the right put stream.
+	Class state.Class `json:"class,omitempty"`
+	// Shared marks reprocess events triggered by updates to shared state
+	// (clone/merge transactions) rather than per-flow state; the
+	// controller buffers them against the shared put instead of a
+	// per-key put.
+	Shared bool `json:"shared,omitempty"`
+}
+
+// StatsReply answers the northbound stats() call: how much shared and
+// per-flow supporting and reporting state exists for a given key (§5).
+type StatsReply struct {
+	SupportPerflowChunks int `json:"supportPerflowChunks"`
+	SupportPerflowBytes  int `json:"supportPerflowBytes"`
+	ReportPerflowChunks  int `json:"reportPerflowChunks"`
+	ReportPerflowBytes   int `json:"reportPerflowBytes"`
+	SupportSharedBytes   int `json:"supportSharedBytes"`
+	ReportSharedBytes    int `json:"reportSharedBytes"`
+}
+
+// Total returns the total number of per-flow chunks counted.
+func (s StatsReply) Total() int { return s.SupportPerflowChunks + s.ReportPerflowChunks }
+
+// Message is the single wire frame. Fields are populated according to Type;
+// unused fields are omitted from the JSON encoding.
+type Message struct {
+	Type MsgType `json:"type"`
+	// ID correlates requests with their chunks/done/error replies.
+	ID uint64 `json:"id,omitempty"`
+
+	// Hello fields.
+	Name string `json:"name,omitempty"` // MB instance name, e.g. "prads1"
+	Kind string `json:"kind,omitempty"` // MB type, e.g. "monitor", "ips"
+
+	// Request fields.
+	Op     Op                `json:"op,omitempty"`
+	Path   string            `json:"path,omitempty"`
+	Values []string          `json:"values,omitempty"`
+	Match  packet.FieldMatch `json:"match,omitempty"`
+	Blob   []byte            `json:"blob,omitempty"`
+	// Enable applies to OpSetEventFilter.
+	Enable bool `json:"enable,omitempty"`
+	// TTLNanos bounds an event filter's lifetime (§4.2.2: "receive all
+	// events only for a limited period of time"); 0 means no expiry.
+	TTLNanos int64 `json:"ttlNanos,omitempty"`
+	// Compressed marks Blob/Chunk payloads as flate-compressed (§8.3
+	// compression ablation).
+	Compressed bool `json:"compressed,omitempty"`
+
+	// Chunk payload (MsgChunk, and OpPut*Perflow requests).
+	Chunk *state.Chunk `json:"chunk,omitempty"`
+
+	// Done payload.
+	Count   int           `json:"count,omitempty"`
+	Entries []state.Entry `json:"entries,omitempty"`
+	Stats   *StatsReply   `json:"stats,omitempty"`
+
+	// Event payload (MsgEvent).
+	Event *Event `json:"event,omitempty"`
+
+	// Error payload (MsgError).
+	Error string `json:"error,omitempty"`
+}
+
+// prepare fixes up non-JSON-native fields before encoding.
+func (m *Message) prepare() {
+	if m.Event != nil {
+		m.Event.KeyStr = m.Event.Key.String()
+	}
+}
+
+// finish restores non-JSON-native fields after decoding.
+func (m *Message) finish() error {
+	if m.Event != nil && m.Event.KeyStr != "" {
+		k, err := parseFlowKey(m.Event.KeyStr)
+		if err != nil {
+			return err
+		}
+		m.Event.Key = k
+	}
+	return nil
+}

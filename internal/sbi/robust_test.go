@@ -1,0 +1,88 @@
+package sbi
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"openmb/internal/packet"
+)
+
+// TestReceiveMalformedJSON verifies the connection surfaces decode errors
+// for garbage frames instead of panicking or hanging.
+func TestReceiveMalformedJSON(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(b)
+	go func() {
+		a.Write([]byte("this is not json\n"))
+	}()
+	if _, err := conn.Receive(); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+}
+
+// TestReceiveBadEventKey verifies an event with a malformed key string is
+// rejected at the framing layer.
+func TestReceiveBadEventKey(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(b)
+	go func() {
+		a.Write([]byte(`{"type":"event","event":{"kind":"reprocess","key":"garbage-key","seq":1}}` + "\n"))
+	}()
+	if _, err := conn.Receive(); err == nil {
+		t.Fatal("malformed event key accepted")
+	}
+}
+
+// TestReceivePartialFrameThenClose verifies a half-written frame ends in a
+// clean error once the peer closes.
+func TestReceivePartialFrameThenClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := NewConn(b)
+	go func() {
+		a.Write([]byte(`{"type":"done","id":`))
+		a.Close()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Receive()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("partial frame accepted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receive hung on partial frame")
+	}
+}
+
+// TestUnknownFieldsIgnored confirms forward compatibility: frames with
+// unknown fields decode (the southbound API can evolve without breaking
+// deployed middleboxes — the decoupling argument of §5).
+func TestUnknownFieldsIgnored(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(b)
+	go func() {
+		a.Write([]byte(`{"type":"request","id":3,"op":"stats","futureField":{"x":1},"match":"[nw_src=10.0.0.0/8]"}` + "\n"))
+	}()
+	m, err := conn.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpStats || m.ID != 3 {
+		t.Fatalf("frame: %+v", m)
+	}
+	want, _ := packet.ParseFieldMatch("[nw_src=10.0.0.0/8]")
+	if m.Match != want {
+		t.Fatalf("match: %v", m.Match)
+	}
+}

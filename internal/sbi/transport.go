@@ -1,0 +1,104 @@
+package sbi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport abstracts how middleboxes reach the controller. TCPTransport is
+// used by the cmd/ binaries; MemTransport gives tests and benchmarks
+// deterministic, kernel-free links with the same message semantics.
+type Transport interface {
+	// Listen binds the controller side.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects a middlebox to a controller address.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCPTransport is the production transport.
+type TCPTransport struct{}
+
+// Listen binds a TCP listener.
+func (TCPTransport) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial opens a TCP connection.
+func (TCPTransport) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// MemTransport is an in-memory transport: Listen registers an address in a
+// process-local registry and Dial connects to it with net.Pipe. Each
+// MemTransport value is an isolated namespace, so parallel tests do not
+// collide.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMemTransport returns an empty in-memory transport namespace.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: map[string]*memListener{}}
+}
+
+// Listen registers addr and returns its listener.
+func (t *MemTransport) Listen(addr string) (net.Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("sbi: address %q already in use", addr)
+	}
+	l := &memListener{addr: addr, accept: make(chan net.Conn, 16), done: make(chan struct{}), owner: t}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a registered listener.
+func (t *MemTransport) Dial(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sbi: connection refused: %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("sbi: connection refused: %q closed", addr)
+	}
+}
+
+type memListener struct {
+	addr      string
+	accept    chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
+	owner     *MemTransport
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("sbi: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.owner.mu.Lock()
+		delete(l.owner.listeners, l.addr)
+		l.owner.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

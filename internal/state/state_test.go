@@ -1,0 +1,334 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassScopeStrings(t *testing.T) {
+	cases := map[string]string{
+		Config.String():     "config",
+		Supporting.String(): "supporting",
+		Reporting.String():  "reporting",
+		PerFlow.String():    "perflow",
+		Shared.String():     "shared",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	if Class(99).String() == "" || Scope(99).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func TestSealRoundTrip(t *testing.T) {
+	s := NewSealer("bro-shared-key")
+	for _, pt := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("conn"), 1000)} {
+		sealed := s.Seal(pt)
+		got, err := s.Open(sealed)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(pt), len(got))
+		}
+	}
+}
+
+func TestSealRoundTripProperty(t *testing.T) {
+	s := NewSealer("k")
+	f := func(pt []byte) bool {
+		got, err := s.Open(s.Seal(pt))
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealWrongKeyFails(t *testing.T) {
+	a := NewSealer("mb-type-A")
+	b := NewSealer("mb-type-B")
+	sealed := a.Seal([]byte("secret connection state"))
+	if _, err := b.Open(sealed); err != ErrSealOpen {
+		t.Fatalf("cross-key open should fail authentication, got %v", err)
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	s := NewSealer("k")
+	sealed := s.Seal([]byte("payload bytes here"))
+	for _, idx := range []int{0, sealIVLen + 2, len(sealed) - 1} {
+		mut := append([]byte(nil), sealed...)
+		mut[idx] ^= 0x40
+		if _, err := s.Open(mut); err != ErrSealOpen {
+			t.Fatalf("tamper at %d not detected: %v", idx, err)
+		}
+	}
+	if _, err := s.Open(sealed[:sealIVLen]); err != ErrSealOpen {
+		t.Fatal("short blob should fail")
+	}
+}
+
+func TestSealOpaqueness(t *testing.T) {
+	// The controller must not be able to see plaintext: ciphertext should
+	// not contain the plaintext bytes.
+	s := NewSealer("k")
+	pt := []byte("10.0.0.1:1234 ESTABLISHED bytes=1234567")
+	sealed := s.Seal(pt)
+	if bytes.Contains(sealed, pt[:16]) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	// Two seals of the same plaintext differ (fresh IV).
+	if bytes.Equal(sealed, s.Seal(pt)) {
+		t.Fatal("sealing is deterministic; IV reuse")
+	}
+}
+
+func TestNopSealer(t *testing.T) {
+	var s NopSealer
+	pt := []byte("dummy state 202 bytes")
+	sealed := s.Seal(pt)
+	got, err := s.Open(sealed)
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("nop sealer round trip: %v", err)
+	}
+	sealed[0] = 'X'
+	if pt[0] == 'X' {
+		t.Fatal("NopSealer must copy")
+	}
+}
+
+func TestConfigTreeSetGet(t *testing.T) {
+	tr := NewConfigTree()
+	if err := tr.Set("rules/http/0", []string{"alert tcp any any -> any 80"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set("NumCaches", []string{"2"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get("rules/http/0")
+	if err != nil || len(got) != 1 || got[0] != "alert tcp any any -> any 80" {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	if _, err := tr.Get("rules/http/1"); err != ErrNoSuchKey {
+		t.Fatalf("want ErrNoSuchKey, got %v", err)
+	}
+	if _, err := tr.Get("rules/http"); err != ErrNoSuchKey {
+		t.Fatalf("interior node get should fail, got %v", err)
+	}
+}
+
+func TestConfigTreeOrderedValues(t *testing.T) {
+	tr := NewConfigTree()
+	vals := []string{"rule-c", "rule-a", "rule-b"}
+	if err := tr.Set("rules", vals); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.Get("rules")
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("order not preserved: %v", got)
+		}
+	}
+}
+
+func TestConfigTreeLeafInteriorConflicts(t *testing.T) {
+	tr := NewConfigTree()
+	if err := tr.Set("a/b", []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set("a", []string{"x"}); err != ErrKeyIsInterior {
+		t.Fatalf("want ErrKeyIsInterior, got %v", err)
+	}
+	if err := tr.Set("a/b/c", []string{"x"}); err == nil {
+		t.Fatal("value key must not gain sub-keys")
+	}
+}
+
+func TestConfigTreeDel(t *testing.T) {
+	tr := NewConfigTree()
+	tr.Set("a/b", []string{"1"})
+	tr.Set("a/c", []string{"2"})
+	if err := tr.Del("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get("a/b"); err != ErrNoSuchKey {
+		t.Fatal("deleted key still present")
+	}
+	if _, err := tr.Get("a/c"); err != nil {
+		t.Fatal("sibling was deleted")
+	}
+	if err := tr.Del("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Del("missing"); err != ErrNoSuchKey {
+		t.Fatalf("want ErrNoSuchKey, got %v", err)
+	}
+	// Wildcard delete clears everything.
+	tr.Set("x", []string{"1"})
+	tr.Del("*")
+	if entries, _ := tr.Export(""); len(entries) != 0 {
+		t.Fatal("wildcard delete left entries")
+	}
+}
+
+func TestConfigTreeExportImportClone(t *testing.T) {
+	src := NewConfigTree()
+	src.Set("rules/0", []string{"r0"})
+	src.Set("rules/1", []string{"r1a", "r1b"})
+	src.Set("params/CacheSize", []string{"500MB"})
+	entries, err := src.Export("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewConfigTree()
+	if err := dst.Import(entries); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(dst) {
+		t.Fatal("clone differs from source")
+	}
+	// Subtree export.
+	sub, err := src.Export("rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 {
+		t.Fatalf("want 2 rule leaves, got %d", len(sub))
+	}
+	if _, err := src.Export("missing"); err != ErrNoSuchKey {
+		t.Fatalf("want ErrNoSuchKey, got %v", err)
+	}
+}
+
+func TestConfigTreeVersionAndWatch(t *testing.T) {
+	tr := NewConfigTree()
+	var paths []string
+	tr.Watch(func(p string) { paths = append(paths, p) })
+	v0 := tr.Version()
+	tr.Set("a", []string{"1"})
+	tr.Set("b", []string{"2"})
+	tr.Del("a")
+	if tr.Version() != v0+3 {
+		t.Fatalf("version: got %d want %d", tr.Version(), v0+3)
+	}
+	if len(paths) != 3 || paths[0] != "a" || paths[2] != "a" {
+		t.Fatalf("watcher calls: %v", paths)
+	}
+}
+
+func TestConfigTreeEqualNegative(t *testing.T) {
+	a := NewConfigTree()
+	b := NewConfigTree()
+	a.Set("k", []string{"1"})
+	if a.Equal(b) {
+		t.Fatal("unequal trees reported equal")
+	}
+	b.Set("k", []string{"2"})
+	if a.Equal(b) {
+		t.Fatal("differing values reported equal")
+	}
+	b.Set("k", []string{"1"})
+	if !a.Equal(b) {
+		t.Fatal("equal trees reported unequal")
+	}
+}
+
+func TestConfigTreeImportExportProperty(t *testing.T) {
+	// Export∘Import is the identity on tree contents.
+	f := func(keys []string, val string) bool {
+		src := NewConfigTree()
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			// Sanitize: path segments must be non-empty and slash-free.
+			seg := ""
+			for _, r := range k {
+				if r != '/' && r != '*' {
+					seg += string(r)
+				}
+			}
+			if seg == "" {
+				continue
+			}
+			if err := src.Set(seg, []string{val, k, string(rune('a' + i%26))}); err != nil {
+				// Leaf/interior conflicts are legal outcomes.
+				continue
+			}
+		}
+		entries, err := src.Export("")
+		if err != nil {
+			return false
+		}
+		dst := NewConfigTree()
+		if err := dst.Import(entries); err != nil {
+			return false
+		}
+		return src.Equal(dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigTreeConcurrency(t *testing.T) {
+	tr := NewConfigTree()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			tr.Set("hot", []string{"v"})
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		tr.Get("hot")
+		tr.Export("")
+	}
+	<-done
+}
+
+func TestChunkSize(t *testing.T) {
+	c := Chunk{Blob: make([]byte, 189)}
+	if c.Size() != 202 {
+		// 13-byte key + 189-byte blob = the paper's 202-byte dummy state.
+		t.Fatalf("chunk size: got %d want 202", c.Size())
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	s := NewSealer("k")
+	pt := bytes.Repeat([]byte("s"), 202)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seal(pt)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	s := NewSealer("k")
+	sealed := s.Seal(bytes.Repeat([]byte("s"), 202))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConfigExport(b *testing.B) {
+	tr := NewConfigTree()
+	for i := 0; i < 100; i++ {
+		tr.Set("rules/"+string(rune('a'+i%26))+"/"+string(rune('0'+i%10)), []string{"v"})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Export(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

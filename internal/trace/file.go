@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"openmb/internal/packet"
+)
+
+// File format: a magic header followed by length-prefixed records. Each
+// record is an 8-byte timestamp, a 4-byte packet length, and the packet's
+// Marshal output. The format is append-friendly and stream-readable, which
+// is all cmd/openmb-trace and the replay harness need.
+
+var fileMagic = [8]byte{'O', 'M', 'B', 'T', 'R', 'C', '0', '1'}
+
+// ErrBadMagic is returned when reading a file that is not a trace.
+var ErrBadMagic = errors.New("trace: bad file magic")
+
+// Write serializes the trace's packets to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	var buf []byte
+	for _, p := range t.Packets {
+		binary.BigEndian.PutUint64(hdr[0:8], uint64(p.Timestamp))
+		buf = p.Marshal(buf[:0])
+		binary.BigEndian.PutUint32(hdr[8:12], uint32(len(buf)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace file and reconstructs flow metadata from the packets.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	t := &Trace{}
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: read record header: %w", err)
+		}
+		ts := int64(binary.BigEndian.Uint64(hdr[0:8]))
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n > 1<<24 {
+			return nil, fmt.Errorf("trace: record length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: read record body: %w", err)
+		}
+		var p packet.Packet
+		if err := p.Unmarshal(buf); err != nil {
+			return nil, err
+		}
+		p.Timestamp = ts
+		t.Packets = append(t.Packets, &p)
+	}
+	t.Flows = RebuildFlows(t.Packets)
+	return t, nil
+}
+
+// RebuildFlows reconstructs FlowInfo records from a packet sequence. Flows
+// are keyed canonically; Start/End are first/last packet timestamps. The
+// HTTP flag and the FlowInfo key reflect the forward (first-seen) direction.
+func RebuildFlows(pkts []*packet.Packet) []FlowInfo {
+	type acc struct {
+		info  FlowInfo
+		index int
+	}
+	byKey := map[packet.FlowKey]*acc{}
+	var order []*acc
+	for _, p := range pkts {
+		k := p.Flow()
+		canon := k.Canonical()
+		a, ok := byKey[canon]
+		if !ok {
+			a = &acc{info: FlowInfo{
+				Key: k, Start: p.Timestamp, End: p.Timestamp,
+				HTTP: p.Proto == packet.ProtoTCP && (p.DstPort == 80 || p.SrcPort == 80),
+			}}
+			byKey[canon] = a
+			order = append(order, a)
+		}
+		if p.Timestamp < a.info.Start {
+			a.info.Start = p.Timestamp
+		}
+		if p.Timestamp > a.info.End {
+			a.info.End = p.Timestamp
+		}
+		a.info.Packets++
+		a.info.Bytes += len(p.Payload)
+	}
+	out := make([]FlowInfo, len(order))
+	for i, a := range order {
+		out[i] = a.info
+	}
+	return out
+}

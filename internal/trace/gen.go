@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"openmb/internal/packet"
+)
+
+// CloudConfig parameterizes the campus-to-cloud border trace: the workload
+// behind the paper's correctness and snapshot experiments. Flows run from a
+// campus subnet to two "cloud provider" prefixes; a fraction are HTTP.
+type CloudConfig struct {
+	Seed  int64
+	Flows int
+	// HTTPFraction of flows target port 80 (default 0.55).
+	HTTPFraction float64
+	// MeanPacketsPerFlow controls flow size (default 12).
+	MeanPacketsPerFlow int
+	// Span is the trace duration (default 15 minutes, like the paper's
+	// border capture).
+	Span time.Duration
+	// CampusPrefix and CloudPrefixes set the address pools.
+	CampusPrefix  netip.Prefix
+	CloudPrefixes []netip.Prefix
+}
+
+func (c *CloudConfig) setDefaults() {
+	if c.Flows == 0 {
+		c.Flows = 200
+	}
+	if c.HTTPFraction == 0 {
+		c.HTTPFraction = 0.55
+	}
+	if c.MeanPacketsPerFlow == 0 {
+		c.MeanPacketsPerFlow = 12
+	}
+	if c.Span == 0 {
+		c.Span = 15 * time.Minute
+	}
+	if !c.CampusPrefix.IsValid() {
+		c.CampusPrefix = netip.MustParsePrefix("10.1.0.0/16")
+	}
+	if len(c.CloudPrefixes) == 0 {
+		c.CloudPrefixes = []netip.Prefix{
+			netip.MustParsePrefix("52.20.0.0/16"), // EC2-like
+			netip.MustParsePrefix("40.80.0.0/16"), // Azure-like
+		}
+	}
+}
+
+var httpMethods = []string{"GET", "POST", "HEAD"}
+var httpPaths = []string{"/", "/index.html", "/api/v1/items", "/static/app.js", "/login", "/health"}
+
+// Cloud generates the campus↔cloud border trace.
+func Cloud(cfg CloudConfig) *Trace {
+	cfg.setDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{}
+	for i := 0; i < cfg.Flows; i++ {
+		isHTTP := r.Float64() < cfg.HTTPFraction
+		dstPort := uint16(80)
+		if !isHTTP {
+			// Non-HTTP services: a small realistic pool.
+			ports := []uint16{443, 22, 25, 53, 8080, 3306}
+			dstPort = ports[r.Intn(len(ports))]
+		}
+		key := packet.FlowKey{
+			SrcIP:   hostIn(r, cfg.CampusPrefix),
+			DstIP:   hostIn(r, cfg.CloudPrefixes[r.Intn(len(cfg.CloudPrefixes))]),
+			Proto:   packet.ProtoTCP,
+			SrcPort: uint16(20000 + r.Intn(40000)),
+			DstPort: dstPort,
+		}
+		nReq := 1 + r.Intn(2*cfg.MeanPacketsPerFlow)
+		var reqs, resps [][]byte
+		for j := 0; j < nReq; j++ {
+			if isHTTP {
+				m := httpMethods[r.Intn(len(httpMethods))]
+				p := httpPaths[r.Intn(len(httpPaths))]
+				reqs = append(reqs, []byte(fmt.Sprintf("%s %s HTTP/1.1\r\nHost: svc%d.example.com\r\nUser-Agent: trace/1.0\r\n\r\n", m, p, r.Intn(8))))
+				body := make([]byte, 64+r.Intn(512))
+				r.Read(body)
+				resps = append(resps, append([]byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))), body...))
+			} else {
+				b := make([]byte, 32+r.Intn(256))
+				r.Read(b)
+				reqs = append(reqs, b)
+				b2 := make([]byte, 32+r.Intn(256))
+				r.Read(b2)
+				resps = append(resps, b2)
+			}
+		}
+		start := int64(r.Float64() * float64(cfg.Span) * 0.7)
+		dur := int64(float64(cfg.Span) * (0.05 + 0.25*r.Float64()))
+		var bytes int
+		tr.Packets, bytes = tcpFlow(tr.Packets, key, start, dur, reqs, resps)
+		tr.Flows = append(tr.Flows, FlowInfo{
+			Key: key, Start: start, End: start + dur,
+			Packets: len(reqs) + len(resps) + 6, Bytes: bytes, HTTP: isHTTP,
+		})
+	}
+	sortPackets(tr.Packets)
+	return tr
+}
+
+// UnivDCConfig parameterizes the university data-center trace. Flow
+// durations follow a Pareto distribution whose tail index is chosen so that
+// roughly 9% of flows outlive LongThreshold — the statistic Figure 8 turns
+// on ("around 9% of flows take more than 1500 secs to complete").
+type UnivDCConfig struct {
+	Seed  int64
+	Flows int
+	// LongThreshold and LongFraction pin the tail: P(duration >
+	// LongThreshold) = LongFraction. Defaults: 1500 s, 0.09.
+	LongThreshold time.Duration
+	LongFraction  float64
+	// MinDuration is the Pareto scale parameter (default 1 s).
+	MinDuration time.Duration
+	// MaxDuration truncates the tail (default 2× LongThreshold) so a
+	// single astronomically long flow cannot dominate the trace span.
+	MaxDuration time.Duration
+	// PacketsPerFlow is the mean data-packet count (default 8).
+	PacketsPerFlow int
+}
+
+func (c *UnivDCConfig) setDefaults() {
+	if c.Flows == 0 {
+		c.Flows = 2000
+	}
+	if c.LongThreshold == 0 {
+		c.LongThreshold = 1500 * time.Second
+	}
+	if c.LongFraction == 0 {
+		c.LongFraction = 0.09
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = time.Second
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 2 * c.LongThreshold
+	}
+	if c.PacketsPerFlow == 0 {
+		c.PacketsPerFlow = 8
+	}
+}
+
+// paretoAlpha solves P(X > thresh) = frac for X ~ Pareto(xm, alpha).
+func paretoAlpha(xm, thresh, frac float64) float64 {
+	return math.Log(frac) / math.Log(xm/thresh)
+}
+
+// UnivDC generates the data-center trace with heavy-tailed flow durations.
+func UnivDC(cfg UnivDCConfig) *Trace {
+	cfg.setDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	xm := cfg.MinDuration.Seconds()
+	alpha := paretoAlpha(xm, cfg.LongThreshold.Seconds(), cfg.LongFraction)
+	rack := netip.MustParsePrefix("10.8.0.0/16")
+	agg := netip.MustParsePrefix("10.9.0.0/16")
+	tr := &Trace{}
+	for i := 0; i < cfg.Flows; i++ {
+		// Inverse-CDF sampling of Pareto(xm, alpha), truncated.
+		u := r.Float64()
+		durSec := xm / math.Pow(1-u, 1/alpha)
+		if max := cfg.MaxDuration.Seconds(); durSec > max {
+			durSec = max
+		}
+		dur := int64(durSec * float64(time.Second))
+		isHTTP := r.Float64() < 0.5
+		dstPort := uint16(80)
+		if !isHTTP {
+			ports := []uint16{443, 9092, 2049, 5432, 11211}
+			dstPort = ports[r.Intn(len(ports))]
+		}
+		key := packet.FlowKey{
+			SrcIP: hostIn(r, rack), DstIP: hostIn(r, agg),
+			Proto: packet.ProtoTCP, SrcPort: uint16(30000 + r.Intn(30000)), DstPort: dstPort,
+		}
+		n := 1 + r.Intn(2*cfg.PacketsPerFlow)
+		var reqs, resps [][]byte
+		for j := 0; j < n; j++ {
+			b := make([]byte, 64+r.Intn(128))
+			r.Read(b)
+			reqs = append(reqs, b)
+			b2 := make([]byte, 128+r.Intn(512))
+			r.Read(b2)
+			resps = append(resps, b2)
+		}
+		start := int64(r.Float64() * float64(time.Hour.Nanoseconds()) * 0.5)
+		var bytes int
+		tr.Packets, bytes = tcpFlow(tr.Packets, key, start, dur, reqs, resps)
+		tr.Flows = append(tr.Flows, FlowInfo{
+			Key: key, Start: start, End: start + dur,
+			Packets: 2*n + 6, Bytes: bytes, HTTP: isHTTP,
+		})
+	}
+	sortPackets(tr.Packets)
+	return tr
+}
+
+// RedundantConfig parameterizes the high-redundancy content trace used for
+// the RE experiments (Table 3). Payloads are drawn from a pool of content
+// blocks: with probability Redundancy a previously emitted block repeats,
+// otherwise a fresh random block enters the pool.
+type RedundantConfig struct {
+	Seed  int64
+	Flows int
+	// PacketsPerFlow is the data-packet count per flow (default 40).
+	PacketsPerFlow int
+	// BlockSize is the content block size in bytes (default 700).
+	BlockSize int
+	// Redundancy is the repeat probability (default 0.5, matching the
+	// "high-redundancy" label and the ~34% encoding savings in Table 3).
+	Redundancy float64
+	// PoolSize bounds the number of distinct blocks (default 64).
+	PoolSize int
+}
+
+func (c *RedundantConfig) setDefaults() {
+	if c.Flows == 0 {
+		c.Flows = 20
+	}
+	if c.PacketsPerFlow == 0 {
+		c.PacketsPerFlow = 40
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 700
+	}
+	if c.Redundancy == 0 {
+		c.Redundancy = 0.5
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 64
+	}
+}
+
+// Redundant generates the high-redundancy trace.
+func Redundant(cfg RedundantConfig) *Trace {
+	cfg.setDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	remote := netip.MustParsePrefix("172.16.0.0/16")
+	// Destination pools match the live-migration scenario of §6.1: app VMs
+	// in 1.1.1.0/24 stay in DC A, VMs in 1.1.2.0/24 migrate to DC B.
+	dcA := netip.MustParsePrefix("1.1.1.0/24")
+	dcB := netip.MustParsePrefix("1.1.2.0/24")
+	var pool [][]byte
+	newBlock := func() []byte {
+		b := make([]byte, cfg.BlockSize)
+		r.Read(b)
+		if len(pool) < cfg.PoolSize {
+			pool = append(pool, b)
+		} else {
+			pool[r.Intn(len(pool))] = b
+		}
+		return b
+	}
+	tr := &Trace{}
+	for i := 0; i < cfg.Flows; i++ {
+		dst := dcA
+		if i%2 == 1 {
+			dst = dcB
+		}
+		key := packet.FlowKey{
+			SrcIP: hostIn(r, remote), DstIP: hostIn(r, dst),
+			Proto: packet.ProtoTCP, SrcPort: uint16(40000 + r.Intn(20000)), DstPort: 80,
+		}
+		var reqs, resps [][]byte
+		for j := 0; j < cfg.PacketsPerFlow; j++ {
+			var block []byte
+			if len(pool) > 0 && r.Float64() < cfg.Redundancy {
+				block = pool[r.Intn(len(pool))]
+			} else {
+				block = newBlock()
+			}
+			// Traffic flows remote -> DC, so content rides requests.
+			reqs = append(reqs, block)
+			resps = append(resps, []byte("ack"))
+		}
+		start := int64(i) * int64(10*time.Millisecond)
+		dur := int64(time.Duration(cfg.PacketsPerFlow) * 20 * time.Millisecond)
+		var bytes int
+		tr.Packets, bytes = tcpFlow(tr.Packets, key, start, dur, reqs, resps)
+		tr.Flows = append(tr.Flows, FlowInfo{
+			Key: key, Start: start, End: start + dur,
+			Packets: 2*cfg.PacketsPerFlow + 6, Bytes: bytes, HTTP: true,
+		})
+	}
+	sortPackets(tr.Packets)
+	return tr
+}

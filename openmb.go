@@ -1,0 +1,209 @@
+// Package openmb is a software-defined middlebox networking (SDMBN)
+// framework: a Go reproduction of "Design and Implementation of a Framework
+// for Software-Defined Middlebox Networking" (Gember et al., 2013).
+//
+// OpenMB gives control applications fine-grained, programmatic control over
+// all middlebox state — configuration, supporting, and reporting state,
+// per-flow or shared — in tandem with SDN control over network forwarding.
+// The package re-exports the framework's public surface:
+//
+//   - Controller: the OpenMB middlebox controller with the northbound API
+//     (ReadConfig, WriteConfig, Stats, MoveInternal, CloneSupport,
+//     MergeInternal) and introspection-event subscription;
+//   - Runtime + Logic: the middlebox side — host any Logic implementation
+//     in a Runtime and connect it to a controller over TCP or in-memory
+//     transports;
+//   - Middleboxes: Bro-like IPS, PRADS-like monitor, SmartRE-like encoder/
+//     decoder, NAT, and load balancer, all OpenMB-enabled;
+//   - Network: a software switch fabric with an SDN controller (Route) for
+//     coordinating forwarding changes with state operations;
+//   - Apps: the control applications of the paper — live migration, elastic
+//     scaling, and failure recovery;
+//   - Traffic: seeded synthetic workload generators.
+//
+// The quickstart in examples/quickstart shows the minimal end-to-end flow;
+// DESIGN.md maps every subsystem and experiment, and EXPERIMENTS.md records
+// paper-versus-measured results.
+package openmb
+
+import (
+	"openmb/internal/apps"
+	"openmb/internal/bed"
+	"openmb/internal/core"
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/ips"
+	"openmb/internal/mbox/lb"
+	"openmb/internal/mbox/monitor"
+	"openmb/internal/mbox/nat"
+	"openmb/internal/mbox/re"
+	"openmb/internal/netsim"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/sdn"
+	"openmb/internal/state"
+	"openmb/internal/trace"
+)
+
+// Controller is the OpenMB middlebox controller (the paper's primary
+// contribution). Create with NewController, start with Serve, and drive it
+// through the northbound API.
+type Controller = core.Controller
+
+// ControllerOptions tunes the controller (quiet period, compression).
+type ControllerOptions = core.Options
+
+// NewController creates an OpenMB controller.
+func NewController(opts ControllerOptions) *Controller { return core.NewController(opts) }
+
+// Runtime hosts one middlebox instance and implements its southbound API.
+type Runtime = mbox.Runtime
+
+// RuntimeOptions configures a Runtime.
+type RuntimeOptions = mbox.Options
+
+// Logic is the contract concrete middleboxes implement.
+type Logic = mbox.Logic
+
+// Context carries per-packet interaction between a Runtime and its Logic.
+type Context = mbox.Context
+
+// NewRuntime hosts logic in a runtime under the given instance name.
+func NewRuntime(name string, logic Logic, opts RuntimeOptions) *Runtime {
+	return mbox.New(name, logic, opts)
+}
+
+// Transport abstracts controller/middlebox connectivity.
+type Transport = sbi.Transport
+
+// TCPTransport connects middleboxes to controllers over TCP.
+type TCPTransport = sbi.TCPTransport
+
+// MemTransport is an in-memory transport for tests and single-process
+// deployments.
+type MemTransport = sbi.MemTransport
+
+// NewMemTransport creates an isolated in-memory transport namespace.
+func NewMemTransport() *MemTransport { return sbi.NewMemTransport() }
+
+// Event is a middlebox-raised notification (reprocess or introspection).
+type Event = sbi.Event
+
+// StatsReply answers the northbound Stats call.
+type StatsReply = sbi.StatsReply
+
+// Packet is the packet model used throughout the framework.
+type Packet = packet.Packet
+
+// FlowKey is a directed 5-tuple, usable as a map key.
+type FlowKey = packet.FlowKey
+
+// FieldMatch is the header-field list naming sets of flows in the APIs.
+type FieldMatch = packet.FieldMatch
+
+// MatchAll matches every flow.
+var MatchAll = packet.MatchAll
+
+// ParseFieldMatch parses matches like "[nw_src=10.0.0.0/8,tp_dst=80]".
+func ParseFieldMatch(s string) (FieldMatch, error) { return packet.ParseFieldMatch(s) }
+
+// ConfigEntry is one leaf of a middlebox configuration tree.
+type ConfigEntry = state.Entry
+
+// Middlebox implementations.
+type (
+	// IPS is the Bro-like intrusion prevention system.
+	IPS = ips.IPS
+	// Monitor is the PRADS-like passive asset monitor.
+	Monitor = monitor.Monitor
+	// REEncoder is the SmartRE-like redundancy elimination encoder.
+	REEncoder = re.Encoder
+	// REDecoder is the SmartRE-like redundancy elimination decoder.
+	REDecoder = re.Decoder
+	// NAT is the network address translator.
+	NAT = nat.NAT
+	// LoadBalancer is the Balance-like TCP load balancer.
+	LoadBalancer = lb.LB
+	// Backend is one load-balanced server.
+	Backend = lb.Backend
+)
+
+// NewIPS creates a Bro-like IPS.
+func NewIPS() *IPS { return ips.New() }
+
+// NewMonitor creates a PRADS-like monitor.
+func NewMonitor() *Monitor { return monitor.New() }
+
+// NewREEncoder creates an RE encoder with the given cache capacity in bytes
+// (0 selects the default).
+func NewREEncoder(cacheBytes int) *REEncoder { return re.NewEncoder(cacheBytes) }
+
+// NewREDecoder creates an RE decoder.
+func NewREDecoder(cacheBytes int) *REDecoder { return re.NewDecoder(cacheBytes) }
+
+// Network is the software switch fabric.
+type Network = netsim.Network
+
+// Switch is a software switch with a priority flow table.
+type Switch = netsim.Switch
+
+// Host is a terminal endpoint recording received packets.
+type Host = netsim.Host
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network { return netsim.New() }
+
+// NewSwitch attaches a new switch to the network.
+func NewSwitch(n *Network, name string) *Switch { return netsim.NewSwitch(n, name) }
+
+// NewHost attaches a new host to the network.
+func NewHost(n *Network, name string, limit int) *Host { return netsim.NewHost(n, name, limit) }
+
+// SDNController manages flow tables across switches; control applications
+// use it for the route(k,r) half of coordinated updates.
+type SDNController = sdn.Controller
+
+// Hop is one forwarding step of a route.
+type Hop = sdn.Hop
+
+// NewSDNController creates an SDN controller.
+func NewSDNController() *SDNController { return sdn.NewController() }
+
+// Apps bundles the paper's control applications over a controller.
+type Apps = apps.Env
+
+// MappingShadow mirrors a NAT's critical state from introspection events.
+type MappingShadow = apps.MappingShadow
+
+// NewMappingShadow subscribes a shadow to the named NAT's mapping events.
+func NewMappingShadow(ctrl *Controller, natName string) (*MappingShadow, error) {
+	return apps.NewMappingShadow(ctrl, natName)
+}
+
+// Testbed assembles a full in-process deployment: network, SDN controller,
+// OpenMB controller, and middleboxes, wired over an in-memory transport.
+type Testbed = bed.Bed
+
+// NewTestbed creates an empty testbed.
+func NewTestbed(opts ControllerOptions) (*Testbed, error) { return bed.New(opts) }
+
+// Trace is a time-ordered synthetic packet trace.
+type Trace = trace.Trace
+
+// CloudTrace generates the campus-to-cloud workload.
+func CloudTrace(cfg trace.CloudConfig) *Trace { return trace.Cloud(cfg) }
+
+// UnivDCTrace generates the heavy-tailed data-center workload.
+func UnivDCTrace(cfg trace.UnivDCConfig) *Trace { return trace.UnivDC(cfg) }
+
+// RedundantTrace generates the high-redundancy workload for RE experiments.
+func RedundantTrace(cfg trace.RedundantConfig) *Trace { return trace.Redundant(cfg) }
+
+// Trace generator configurations.
+type (
+	// CloudTraceConfig parameterizes CloudTrace.
+	CloudTraceConfig = trace.CloudConfig
+	// UnivDCTraceConfig parameterizes UnivDCTrace.
+	UnivDCTraceConfig = trace.UnivDCConfig
+	// RedundantTraceConfig parameterizes RedundantTrace.
+	RedundantTraceConfig = trace.RedundantConfig
+)
