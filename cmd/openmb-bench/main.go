@@ -6,6 +6,11 @@
 //
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
+//
+// -codec and -batch select the SBI wire codec (json|binary) and the number
+// of state chunks per frame for every experiment, so full-sweep tables can
+// compare transfer-plane configurations (e.g. the paper-faithful JSON
+// one-chunk frames against the binary batched fast path).
 package main
 
 import (
@@ -20,9 +25,20 @@ import (
 )
 
 func main() {
+	// Flag defaults inherit the OPENMB_CODEC/OPENMB_BATCH environment (the
+	// paper-faithful json/1 otherwise), so either mechanism tunes a run and
+	// explicit flags win.
+	envCodec, envBatch := eval.TransferTuning()
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
 	scale := flag.String("scale", "quick", "quick|full parameter scale")
+	codec := flag.String("codec", string(envCodec), "SBI wire codec for all experiments: json|binary")
+	batch := flag.Int("batch", envBatch, "state chunks per SBI frame (1 = the paper's framing)")
 	flag.Parse()
+
+	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer tuning: codec=%s batch=%d\n\n", *codec, *batch)
 
 	full := *scale == "full"
 	want := map[string]bool{}

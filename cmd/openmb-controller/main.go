@@ -20,12 +20,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9753", "address to accept middlebox connections on")
 	quiet := flag.Duration("quiet-period", 5*time.Second, "event quiescence before completing transactions (the paper's 5 s default)")
 	compress := flag.Bool("compress", false, "flate-compress state transfers (§8.3)")
+	batch := flag.Int("batch", 1, "state chunks per frame during moves (1 = the paper's one-chunk frames)")
 	events := flag.Bool("log-events", true, "log introspection events")
 	flag.Parse()
 
 	ctrl := openmb.NewController(openmb.ControllerOptions{
 		QuietPeriod: *quiet,
 		Compress:    *compress,
+		BatchSize:   *batch,
 	})
 	if *events {
 		ctrl.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
@@ -35,7 +37,7 @@ func main() {
 	if err := ctrl.Serve(openmb.TCPTransport{}, *listen); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v)", *listen, *quiet, *compress)
+	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v, batch=%d)", *listen, *quiet, *compress, *batch)
 
 	// Periodically report the registered middleboxes.
 	go func() {

@@ -25,6 +25,7 @@ func main() {
 	kind := flag.String("kind", "monitor", "middlebox type: monitor|ips|re-encoder|re-decoder|nat|lb")
 	tracePath := flag.String("trace", "", "optional trace file to replay through the packet path")
 	pace := flag.Duration("pace", 0, "delay between replayed packets")
+	codecName := flag.String("codec", "json", "southbound wire codec: json (paper-faithful) or binary (fast path)")
 	natIP := flag.String("nat-ip", "5.5.5.5", "external IP for -kind nat")
 	lbVIP := flag.String("lb-vip", "1.1.1.100:80", "VIP for -kind lb")
 	lbBackends := flag.String("lb-backends", "1.1.1.10:8080,1.1.1.11:8080", "comma-separated backends for -kind lb")
@@ -34,16 +35,20 @@ func main() {
 		log.Fatal("openmb-mb: -name is required")
 	}
 
+	codec, err := openmb.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	logic, err := buildLogic(*kind, *natIP, *lbVIP, *lbBackends, *cacheBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := openmb.NewRuntime(*name, logic, openmb.RuntimeOptions{})
+	rt := openmb.NewRuntime(*name, logic, openmb.RuntimeOptions{Codec: codec})
 	defer rt.Close()
 	if err := rt.Connect(openmb.TCPTransport{}, *controller); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s (%s) connected to %s", *name, logic.Kind(), *controller)
+	log.Printf("%s (%s) connected to %s (codec %s)", *name, logic.Kind(), *controller, codec)
 
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)

@@ -1,0 +1,3 @@
+module openmb
+
+go 1.24.0

@@ -28,6 +28,7 @@ import (
 
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
+	"openmb/internal/state"
 )
 
 // Options tunes controller behaviour.
@@ -41,6 +42,10 @@ type Options struct {
 	Compress bool
 	// CallTimeout bounds individual southbound calls (default 30 s).
 	CallTimeout time.Duration
+	// BatchSize is how many state chunks the controller asks middleboxes
+	// to pack per MsgChunk frame during moves, and how many it forwards
+	// per put. 0 and 1 mean one chunk per frame (the paper's framing).
+	BatchSize int
 }
 
 func (o *Options) setDefaults() {
@@ -49,6 +54,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.CallTimeout == 0 {
 		o.CallTimeout = 30 * time.Second
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
 	}
 }
 
@@ -111,6 +119,13 @@ func (c *Controller) acceptLoop(l net.Listener) {
 func (c *Controller) handleConn(conn *sbi.Conn) {
 	hello, err := conn.Receive()
 	if err != nil || hello.Type != sbi.MsgHello || hello.Name == "" {
+		conn.Close()
+		return
+	}
+	// The hello (always JSON) may announce a faster codec for everything
+	// after it; the controller's side of the connection follows suit.
+	if err := conn.Upgrade(hello.Codec); err != nil {
+		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, Error: err.Error()})
 		conn.Close()
 		return
 	}
@@ -372,11 +387,13 @@ func (mb *mbConn) readLoop() {
 			if cl == nil {
 				continue
 			}
-			if m.Type == sbi.MsgChunk && cl.txn != nil && m.Chunk != nil {
+			if m.Type == sbi.MsgChunk && cl.txn != nil {
 				// Register here, on the read loop, so an event
-				// for this key received later on this
+				// for any of these keys received later on this
 				// connection always finds the transaction.
-				cl.txn.registerChunk(mb, m.Chunk.Key)
+				m.EachChunk(func(ch *state.Chunk) {
+					cl.txn.registerChunk(mb, ch.Key)
+				})
 			}
 			// Blocking send: chunk streams may outpace the consumer
 			// (the consumer issues a put per chunk), and dropping a

@@ -286,24 +286,42 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 	errCh := make(chan error, 64)
 
 	// One get per state class; the read loop registers each streamed
-	// chunk (so events start buffering), then the chunk is put to the
-	// destination; ACKs release the buffered events.
+	// chunk (so events start buffering), then the chunks are put to the
+	// destination — one put per received frame, so a batched get yields
+	// batched puts; ACKs release the buffered events for every key in
+	// the frame.
 	movePair := func(getOp, putOp sbi.Op) {
-		_, err := src.stream(t, &sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: m, Compressed: c.opts.Compress}, c.opts.CallTimeout, func(chunk *sbi.Message) error {
-			key := chunk.Chunk.Key
-			c.chunksMoved.Add(1)
-			c.bytesMoved.Add(uint64(len(chunk.Chunk.Blob)))
+		get := &sbi.Message{
+			Type: sbi.MsgRequest, Op: getOp, Match: m,
+			Compressed: c.opts.Compress, Batch: c.opts.BatchSize,
+		}
+		_, err := src.stream(t, get, c.opts.CallTimeout, func(chunk *sbi.Message) error {
+			var keys []packet.FlowKey
+			var bytes uint64
+			chunk.EachChunk(func(ch *state.Chunk) {
+				keys = append(keys, ch.Key)
+				bytes += uint64(len(ch.Blob))
+			})
+			c.chunksMoved.Add(uint64(len(keys)))
+			c.bytesMoved.Add(bytes)
 			putWG.Add(1)
 			go func() {
 				defer putWG.Done()
-				_, perr := dst.call(&sbi.Message{Type: sbi.MsgRequest, Op: putOp, Chunk: chunk.Chunk, Compressed: chunk.Compressed}, c.opts.CallTimeout)
+				put := &sbi.Message{
+					Type: sbi.MsgRequest, Op: putOp,
+					Chunk: chunk.Chunk, Chunks: chunk.Chunks,
+					Compressed: chunk.Compressed,
+				}
+				_, perr := dst.call(put, c.opts.CallTimeout)
 				if perr != nil {
 					select {
 					case errCh <- perr:
 					default:
 					}
 				}
-				t.ackPut(key)
+				for _, key := range keys {
+					t.ackPut(key)
+				}
 			}()
 			return nil
 		})

@@ -224,7 +224,7 @@ func LatencyDuringGet(flows, packetsPerPhase int) (*Table, error) {
 			getOp = sbi.OpGetSupportPerflow
 		}
 		for i := 0; i < 3; i++ {
-			id, err := d.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll})
+			id, err := d.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll, Batch: transferBatch})
 			if err != nil {
 				return err
 			}
@@ -348,6 +348,11 @@ func AblationLinearScan(matched int, tableSizes []int) (*Table, error) {
 	}
 	for _, size := range tableSizes {
 		scanMon := monitor.New()
+		// The index is on by default now; the scan column measures the
+		// paper-faithful linear search, so force it off here.
+		if err := scanMon.Config().Set("indexed_get", []string{"off"}); err != nil {
+			return nil, err
+		}
 		preloadMonitor(scanMon, size).Close()
 		scanTime, n, err := timeGet(scanMon)
 		if err != nil {

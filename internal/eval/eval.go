@@ -9,7 +9,9 @@ package eval
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,6 +19,56 @@ import (
 	"openmb/internal/mbox"
 	"openmb/internal/sbi"
 )
+
+// Codec re-exports sbi.Codec for flag plumbing in cmd/openmb-bench.
+type Codec = sbi.Codec
+
+// Transfer tuning: which SBI codec and chunk batch size every experiment rig
+// uses. Defaults are the paper-faithful JSON codec and one chunk per frame;
+// cmd/openmb-bench overrides them from -codec/-batch flags, and the
+// OPENMB_CODEC / OPENMB_BATCH environment variables tune `go test -bench`
+// runs without touching the benchmark table (so before/after sweeps compare
+// identical experiments).
+var (
+	transferCodec = sbi.CodecJSON
+	transferBatch = 1
+)
+
+func init() {
+	if env := os.Getenv("OPENMB_CODEC"); env != "" {
+		c, err := sbi.ParseCodec(env)
+		if err != nil {
+			// A typo'd sweep config must not silently fall back and
+			// mislabel the resulting numbers.
+			panic("eval: OPENMB_CODEC: " + err.Error())
+		}
+		transferCodec = c
+	}
+	if env := os.Getenv("OPENMB_BATCH"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			panic("eval: OPENMB_BATCH: want a positive integer, got " + strconv.Quote(env))
+		}
+		transferBatch = n
+	}
+}
+
+// SetTransferTuning sets the codec and batch size used by every experiment's
+// controller and middlebox connections. batch < 1 means 1.
+func SetTransferTuning(codec sbi.Codec, batch int) error {
+	c, err := sbi.ParseCodec(string(codec))
+	if err != nil {
+		return err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	transferCodec, transferBatch = c, batch
+	return nil
+}
+
+// TransferTuning reports the active codec and batch size.
+func TransferTuning() (sbi.Codec, int) { return transferCodec, transferBatch }
 
 // Table is one experiment's output.
 type Table struct {
@@ -93,6 +145,9 @@ type rig struct {
 }
 
 func newRig(opts core.Options) (*rig, error) {
+	if opts.BatchSize == 0 {
+		opts.BatchSize = transferBatch
+	}
 	r := &rig{ctrl: core.NewController(opts), tr: sbi.NewMemTransport()}
 	if err := r.ctrl.Serve(r.tr, "ctrl"); err != nil {
 		return nil, err
@@ -101,7 +156,7 @@ func newRig(opts core.Options) (*rig, error) {
 }
 
 func (r *rig) add(name string, logic mbox.Logic) (*mbox.Runtime, error) {
-	rt := mbox.New(name, logic, mbox.Options{})
+	rt := mbox.New(name, logic, mbox.Options{Codec: transferCodec})
 	if err := rt.Connect(r.tr, "ctrl"); err != nil {
 		rt.Close()
 		return nil, err
@@ -140,7 +195,7 @@ func newDirectMB(name string, logic mbox.Logic) (*directMB, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := mbox.New(name, logic, mbox.Options{})
+	rt := mbox.New(name, logic, mbox.Options{Codec: transferCodec})
 	accepted := make(chan *sbi.Conn, 1)
 	go func() {
 		raw, err := l.Accept()
@@ -148,7 +203,11 @@ func newDirectMB(name string, logic mbox.Logic) (*directMB, error) {
 			return
 		}
 		c := sbi.NewConn(raw)
-		if _, err := c.Receive(); err != nil { // hello
+		hello, err := c.Receive()
+		if err != nil {
+			return
+		}
+		if err := c.Upgrade(hello.Codec); err != nil {
 			return
 		}
 		accepted <- c

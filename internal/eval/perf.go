@@ -65,24 +65,35 @@ func measureGetPut(srcLogic, dstLogic mbox.Logic, class state.Class) (getTime, p
 		getOp, putOp = sbi.OpGetReportPerflow, sbi.OpPutReportPerflow
 	}
 
-	var collected []*state.Chunk
+	var collected []state.Chunk
 	start := time.Now()
-	id, err := src.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll})
+	id, err := src.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll, Batch: transferBatch})
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	if _, err := src.collect(id, 120*time.Second, func(m *sbi.Message) {
-		collected = append(collected, m.Chunk)
+		m.EachChunk(func(c *state.Chunk) { collected = append(collected, *c) })
 	}); err != nil {
 		return 0, 0, 0, err
 	}
 	getTime = time.Since(start)
 
 	start = time.Now()
-	// Pipelined puts: issue all, then await all ACKs (Figure 5's stream).
-	ids := make([]uint64, 0, len(collected))
-	for _, c := range collected {
-		pid, err := dst.request(&sbi.Message{Type: sbi.MsgRequest, Op: putOp, Chunk: c})
+	// Pipelined puts, batched per the transfer tuning: issue all frames,
+	// then await all ACKs (Figure 5's stream).
+	var ids []uint64
+	for lo := 0; lo < len(collected); lo += transferBatch {
+		hi := lo + transferBatch
+		if hi > len(collected) {
+			hi = len(collected)
+		}
+		put := &sbi.Message{Type: sbi.MsgRequest, Op: putOp}
+		if transferBatch == 1 {
+			put.Chunk = &collected[lo]
+		} else {
+			put.Chunks = collected[lo:hi]
+		}
+		pid, err := dst.request(put)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -252,7 +263,7 @@ func countMoveEvents(logic mbox.Logic, flows, rate int, window time.Duration) (u
 	if logic.Kind() == ips.Kind {
 		getOp = sbi.OpGetSupportPerflow
 	}
-	id, err := d.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll})
+	id, err := d.request(&sbi.Message{Type: sbi.MsgRequest, Op: getOp, Match: packet.MatchAll, Batch: transferBatch})
 	if err != nil {
 		close(stop)
 		wg.Wait()

@@ -22,6 +22,9 @@ type IPS struct {
 	// tables holds connections per transport protocol, as Bro stores
 	// Connection objects in one of three hash tables (§7).
 	tables map[uint8]map[packet.FlowKey]*Conn
+	// index spans all three tables so prefix-constrained gets avoid the
+	// full linear scan (state.FlowIndex; footnote 6 of the paper).
+	index  *state.FlowIndex
 	scans  *scanTracker
 	report reportCounters
 	sigs   []*signature
@@ -48,6 +51,7 @@ func New() *IPS {
 			packet.ProtoUDP:  {},
 			packet.ProtoICMP: {},
 		},
+		index:  state.NewFlowIndex(),
 		config: state.NewConfigTree(),
 	}
 	if err := ips.config.Set("scan/port_threshold", []string{"10"}); err != nil {
@@ -121,6 +125,7 @@ func (i *IPS) Process(ctx *mbox.Context, p *packet.Packet) {
 		if !ok {
 			conn = newConn(p.Flow(), p.Timestamp)
 			tbl[key] = conn
+			i.index.Insert(key)
 			// A new flow opening feeds the scan detector (shared
 			// supporting state).
 			if p.Proto == packet.ProtoTCP && p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 && !ctx.SkipShared() {
@@ -175,6 +180,7 @@ func (i *IPS) Process(ctx *mbox.Context, p *packet.Packet) {
 		if terminated {
 			logLines = append(logLines, conn.logLine())
 			delete(tbl, key)
+			i.index.Remove(key)
 			if !ctx.SkipShared() {
 				i.report.ConnsLogged++
 				ctx.TouchShared(state.Reporting)
@@ -222,6 +228,7 @@ func (i *IPS) SweepIdle(cutoff int64, log func(stream, line string)) []string {
 			if conn.Last < cutoff {
 				lines = append(lines, conn.logLine())
 				delete(tbl, k)
+				i.index.Remove(k)
 				i.report.ConnsLogged++
 			}
 		}
@@ -242,19 +249,22 @@ func (i *IPS) FlushAll(log func(stream, line string)) []string {
 	return i.SweepIdle(int64(^uint64(0)>>1), log)
 }
 
-// GetPerflow implements mbox.Logic: a linear scan over the connection
-// tables, serializing each matching connection's full analyzer tree under a
-// short lock (the per-Connection mutex of §7).
+// GetPerflow implements mbox.Logic: collect the matching keys — via the
+// flow index for prefix-constrained matches, else a linear scan over the
+// connection tables — then serialize each matching connection's full
+// analyzer tree under a short lock (the per-Connection mutex of §7).
 func (i *IPS) GetPerflow(class state.Class, match packet.FieldMatch, emit func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error) error {
 	if class != state.Supporting {
 		return nil // Bro's movable per-flow state is supporting state
 	}
 	i.mu.Lock()
-	var keys []packet.FlowKey
-	for _, tbl := range i.tables {
-		for k := range tbl {
-			if match.MatchEither(k) {
-				keys = append(keys, k)
+	keys, ok := i.index.Lookup(match)
+	if !ok {
+		for _, tbl := range i.tables {
+			for k := range tbl {
+				if match.MatchEither(k) {
+					keys = append(keys, k)
+				}
 			}
 		}
 	}
@@ -315,6 +325,7 @@ func (i *IPS) PutPerflow(class state.Class, c state.Chunk) error {
 		conn.SigMatches += existing.SigMatches
 	}
 	tbl[canon] = &conn
+	i.index.Insert(canon)
 	return nil
 }
 
@@ -331,6 +342,7 @@ func (i *IPS) DelPerflow(class state.Class, match packet.FieldMatch) (int, error
 		for k := range tbl {
 			if match.MatchEither(k) {
 				delete(tbl, k)
+				i.index.Remove(k)
 				n++
 			}
 		}

@@ -508,3 +508,71 @@ func TestUnknownOpErrors(t *testing.T) {
 		t.Fatalf("want error, got %+v", m)
 	}
 }
+
+func TestBatchedGetFraming(t *testing.T) {
+	logic := mbtest.NewCounterLogic(8)
+	h := newHarness(t, logic)
+	const flows = 10
+	for i := 0; i < flows; i++ {
+		h.rt.HandlePacket(pkt(byte(i+1), uint16(1000+i)))
+	}
+	h.rt.Drain(time.Second)
+
+	h.send(t, &sbi.Message{Type: sbi.MsgRequest, ID: 1, Op: sbi.OpGetSupportPerflow, Match: packet.MatchAll, Batch: 4})
+	var frames [][]state.Chunk
+	total := 0
+	for {
+		m := h.reply(t)
+		if m.Type == sbi.MsgError {
+			t.Fatalf("get failed: %s", m.Error)
+		}
+		if m.Type == sbi.MsgDone {
+			if m.Count != flows {
+				t.Fatalf("done count %d, want %d", m.Count, flows)
+			}
+			break
+		}
+		if m.Chunk != nil {
+			t.Fatalf("batched get produced a single-chunk frame: %+v", m)
+		}
+		if len(m.Chunks) == 0 || len(m.Chunks) > 4 {
+			t.Fatalf("frame carries %d chunks, want 1..4", len(m.Chunks))
+		}
+		frames = append(frames, m.Chunks)
+		total += len(m.Chunks)
+	}
+	if total != flows || len(frames) != 3 { // 4+4+2
+		t.Fatalf("frames=%d total=%d, want 3 frames / %d chunks", len(frames), total, flows)
+	}
+}
+
+func TestBatchedPutInstallsAll(t *testing.T) {
+	logic := mbtest.NewCounterLogic(8)
+	h := newHarness(t, logic)
+	sealer := state.NewSealer("openmb-mbtype-counter")
+	blob := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, v)
+		return sealer.Seal(b)
+	}
+	var chunks []state.Chunk
+	for i := 0; i < 5; i++ {
+		chunks = append(chunks, state.Chunk{Key: pkt(byte(40+i), uint16(4000+i)).Flow().Canonical(), Blob: blob(uint64(i + 1))})
+	}
+	h.send(t, &sbi.Message{Type: sbi.MsgRequest, ID: 9, Op: sbi.OpPutSupportPerflow, Chunks: chunks})
+	m := h.reply(t)
+	if m.Type != sbi.MsgDone || m.Count != 5 {
+		t.Fatalf("batched put reply: %+v", m)
+	}
+	if logic.Flows() != 5 {
+		t.Fatalf("flows installed: %d", logic.Flows())
+	}
+	if got := logic.SumCounts(); got != 1+2+3+4+5 {
+		t.Fatalf("sum: %d", got)
+	}
+	// An empty put (no chunk in either representation) still errors.
+	h.send(t, &sbi.Message{Type: sbi.MsgRequest, ID: 10, Op: sbi.OpPutSupportPerflow})
+	if m := h.reply(t); m.Type != sbi.MsgError {
+		t.Fatalf("empty put accepted: %+v", m)
+	}
+}

@@ -423,10 +423,14 @@ func TestIndexMaintainedAcrossPutDel(t *testing.T) {
 }
 
 func TestIndexInsertRemoveProperty(t *testing.T) {
-	// Insert/remove keep the index sorted and duplicate-free.
+	// Insert/remove keep the index consistent and duplicate-free: a lookup
+	// covering everything returns each inserted key exactly once, and
+	// removing every key empties the index.
+	all, _ := packet.ParseFieldMatch("[nw_dst=1.1.1.1]")
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		ix := newSrcIndex()
+		ix := state.NewFlowIndex()
+		distinct := map[packet.FlowKey]bool{}
 		var keys []packet.FlowKey
 		for i := 0; i < 50; i++ {
 			var a [4]byte
@@ -435,20 +439,24 @@ func TestIndexInsertRemoveProperty(t *testing.T) {
 				SrcIP: netip.AddrFrom4(a), DstIP: netip.AddrFrom4([4]byte{1, 1, 1, 1}),
 				Proto: packet.ProtoTCP, SrcPort: uint16(r.Intn(1000)), DstPort: 80,
 			}
-			ix.insert(k)
-			ix.insert(k) // duplicate: no-op
+			ix.Insert(k)
+			ix.Insert(k) // duplicate: no-op
+			distinct[k] = true
 			keys = append(keys, k)
 		}
-		for i := 1; i < ix.Len(); i++ {
-			if !srcLess(ix.bySrc[i-1], ix.bySrc[i]) {
+		got, ok := ix.Lookup(all)
+		if !ok || len(got) != len(distinct) || ix.Len() != len(distinct) {
+			return false
+		}
+		seen := map[packet.FlowKey]bool{}
+		for _, k := range got {
+			if seen[k] || !distinct[k] {
 				return false
 			}
-			if !dstLess(ix.byDst[i-1], ix.byDst[i]) {
-				return false
-			}
+			seen[k] = true
 		}
 		for _, k := range keys {
-			ix.remove(k)
+			ix.Remove(k)
 		}
 		return ix.Len() == 0
 	}

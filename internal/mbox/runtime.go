@@ -21,6 +21,11 @@ type Options struct {
 	// Forward receives packets the logic emits (external side effects).
 	// Typically wired to a netsim port. Nil counts but discards.
 	Forward func(p *packet.Packet)
+	// Codec selects the southbound wire codec, announced in the hello
+	// frame (which itself is always JSON). Empty or sbi.CodecJSON keeps
+	// the paper's newline-delimited JSON; sbi.CodecBinary switches both
+	// directions to the length-prefixed binary fast path.
+	Codec sbi.Codec
 }
 
 // Runtime hosts one middlebox instance: its logic, its southbound
@@ -30,6 +35,7 @@ type Runtime struct {
 	name   string
 	logic  Logic
 	sealer state.BlobSealer
+	codec  sbi.Codec
 
 	in        chan *packet.Packet
 	inReplay  chan replayItem
@@ -99,6 +105,7 @@ func New(name string, logic Logic, opts Options) *Runtime {
 		name:        name,
 		logic:       logic,
 		sealer:      opts.Sealer,
+		codec:       opts.Codec,
 		in:          make(chan *packet.Packet, opts.QueueSize),
 		inReplay:    make(chan replayItem, opts.QueueSize),
 		stop:        make(chan struct{}),

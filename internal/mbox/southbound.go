@@ -18,12 +18,26 @@ import (
 // the paper's MBs connecting to the controller, which then launches one
 // thread for state operations and one for events per MB.
 func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
+	codec, err := sbi.ParseCodec(string(rt.codec))
+	if err != nil {
+		return fmt.Errorf("mbox: connect %q: %w", addr, err)
+	}
 	raw, err := tr.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("mbox: connect %q: %w", addr, err)
 	}
 	conn := sbi.NewConn(raw)
-	if err := conn.Send(&sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}); err != nil {
+	hello := &sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}
+	if codec != sbi.CodecJSON {
+		hello.Codec = codec
+	}
+	if err := conn.Send(hello); err != nil {
+		conn.Close()
+		return err
+	}
+	// The hello is always JSON; every frame after it uses the announced
+	// codec, on both sides.
+	if err := conn.Upgrade(codec); err != nil {
 		conn.Close()
 		return err
 	}
@@ -158,7 +172,27 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
 	rt.activeOps.Add(1)
 	defer rt.activeOps.Add(-1)
+	// The request's Batch asks for up to that many chunks per MsgChunk
+	// frame; 0/1 is the paper's one-chunk-per-frame framing.
+	batch := m.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	count := 0
+	var pending []state.Chunk
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		out := &sbi.Message{Type: sbi.MsgChunk, ID: m.ID, Compressed: m.Compressed}
+		if batch == 1 {
+			out.Chunk = &pending[0]
+		} else {
+			out.Chunks = pending
+		}
+		pending = nil
+		return conn.Send(out)
+	}
 	err := rt.logic.GetPerflow(class, m.Match, func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error {
 		// build invokes mark under the logic's lock immediately before
 		// serializing, so the moved-mark and the snapshot are atomic:
@@ -171,14 +205,16 @@ func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 		if m.Compressed {
 			blob = deflate(blob)
 		}
-		sealed := rt.sealer.Seal(blob)
 		count++
-		return conn.Send(&sbi.Message{
-			Type: sbi.MsgChunk, ID: m.ID,
-			Chunk:      &state.Chunk{Key: key, Blob: sealed},
-			Compressed: m.Compressed,
-		})
+		pending = append(pending, state.Chunk{Key: key, Blob: rt.sealer.Seal(blob)})
+		if len(pending) >= batch {
+			return flush()
+		}
+		return nil
 	})
+	if err == nil {
+		err = flush()
+	}
 	if err != nil {
 		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
@@ -190,24 +226,35 @@ func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 func (rt *Runtime) servePutPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
 	rt.activeOps.Add(1)
 	defer rt.activeOps.Add(-1)
-	if m.Chunk == nil {
+	if m.ChunkCount() == 0 {
 		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: "mbox: put without chunk"})
 		return
 	}
-	blob, err := rt.sealer.Open(m.Chunk.Blob)
-	if err == nil && m.Compressed {
-		blob, err = inflate(blob)
-	}
-	if err == nil {
-		err = rt.logic.PutPerflow(class, state.Chunk{Key: m.Chunk.Key, Blob: blob})
-	}
+	installed := 0
+	var err error
+	m.EachChunk(func(c *state.Chunk) {
+		if err != nil {
+			return
+		}
+		var blob []byte
+		blob, err = rt.sealer.Open(c.Blob)
+		if err == nil && m.Compressed {
+			blob, err = inflate(blob)
+		}
+		if err == nil {
+			err = rt.logic.PutPerflow(class, state.Chunk{Key: c.Key, Blob: blob})
+		}
+		if err == nil {
+			installed++
+		}
+	})
 	if err != nil {
 		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
-	// The put's ACK: the chunk is installed and replayed events for this
-	// key may now be applied.
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 1})
+	// The put's ACK: every chunk in the frame is installed and replayed
+	// events for their keys may now be applied.
+	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: installed})
 }
 
 func (rt *Runtime) serveDelPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {

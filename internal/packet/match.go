@@ -216,7 +216,24 @@ func (m *FieldMatch) UnmarshalJSON(b []byte) error {
 }
 
 // SortKeys sorts flow keys deterministically (by string form); harness code
-// uses it to make table output stable across runs.
+// uses it to make table output stable across runs. The string form is
+// computed once per key, not once per comparison — sorting is on every
+// get's path, and O(n log n) Sprintf calls were a measurable share of
+// Figure 9's get time.
 func SortKeys(keys []FlowKey) {
-	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	if len(keys) < 2 {
+		return
+	}
+	type keyed struct {
+		s string
+		k FlowKey
+	}
+	tmp := make([]keyed, len(keys))
+	for i, k := range keys {
+		tmp[i] = keyed{k.String(), k}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].s < tmp[j].s })
+	for i := range tmp {
+		keys[i] = tmp[i].k
+	}
 }

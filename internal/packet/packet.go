@@ -225,3 +225,66 @@ func (k FlowKey) FastHash() uint64 {
 func (k FlowKey) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, protoName(k.Proto))
 }
+
+// MarshalText implements encoding.TextMarshaler: the String form, or empty
+// text for the zero key. It lets FlowKey-valued fields (events, chunks)
+// serialize themselves in JSON without shadow string fields.
+func (k FlowKey) MarshalText() ([]byte, error) {
+	if k == (FlowKey{}) {
+		return nil, nil
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, inverting MarshalText.
+func (k *FlowKey) UnmarshalText(b []byte) error {
+	if len(b) == 0 {
+		*k = FlowKey{}
+		return nil
+	}
+	parsed, err := ParseFlowKey(string(b))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// FlowKeyWireSize is the fixed binary encoding size of a FlowKey:
+// src(4) dst(4) proto(1) sport(2) dport(2).
+const FlowKeyWireSize = 13
+
+// AppendBinary appends the 13-byte wire form of k to b. Invalid (zero)
+// addresses encode as 0.0.0.0; callers that must distinguish the zero key
+// track presence separately, and callers whose keys may hold non-IPv4
+// addresses must reject them before encoding (the SBI binary codec does) —
+// the fixed form cannot represent them.
+func (k FlowKey) AppendBinary(b []byte) []byte {
+	var src, dst [4]byte
+	if k.SrcIP.Is4() {
+		src = k.SrcIP.As4()
+	}
+	if k.DstIP.Is4() {
+		dst = k.DstIP.As4()
+	}
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	b = append(b, k.Proto)
+	return append(b,
+		byte(k.SrcPort>>8), byte(k.SrcPort),
+		byte(k.DstPort>>8), byte(k.DstPort))
+}
+
+// DecodeFlowKey decodes the wire form produced by AppendBinary.
+func DecodeFlowKey(b []byte) (FlowKey, error) {
+	if len(b) < FlowKeyWireSize {
+		return FlowKey{}, ErrTruncated
+	}
+	return FlowKey{
+		SrcIP:   netip.AddrFrom4([4]byte(b[0:4])),
+		DstIP:   netip.AddrFrom4([4]byte(b[4:8])),
+		Proto:   b[8],
+		SrcPort: binary.BigEndian.Uint16(b[9:11]),
+		DstPort: binary.BigEndian.Uint16(b[11:13]),
+	}, nil
+}

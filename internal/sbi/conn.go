@@ -1,28 +1,32 @@
 package sbi
 
 import (
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
-
-	"openmb/internal/packet"
 )
-
-func parseFlowKey(s string) (packet.FlowKey, error) { return packet.ParseFlowKey(s) }
 
 // Conn frames Messages over a byte stream. Send is safe for concurrent use;
 // the paper's controller dedicates one thread per MB to state operations and
 // one to events, both of which write to the same connection.
+//
+// A Conn starts in the JSON codec (newline-delimited JSON, the paper
+// prototype's format). After the hello exchange both ends may switch to the
+// binary codec with Upgrade; see the Codec field of MsgHello.
 type Conn struct {
 	raw net.Conn
-	enc *json.Encoder
-	dec *json.Decoder
+	br  *bufio.Reader
+	bw  *bufio.Writer
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
+
+	// codec is guarded by both mutexes: readers hold recvMu, writers hold
+	// sendMu, and Upgrade holds both.
+	codec wireCodec
 
 	closeOnce sync.Once
 	closeErr  error
@@ -31,17 +35,53 @@ type Conn struct {
 	sent, received uint64
 }
 
-// NewConn wraps a transport connection.
+// NewConn wraps a transport connection. The initial codec is JSON.
 func NewConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, enc: json.NewEncoder(raw), dec: json.NewDecoder(raw)}
+	c := &Conn{
+		raw: raw,
+		br:  bufio.NewReaderSize(raw, 64<<10),
+		bw:  bufio.NewWriterSize(raw, 64<<10),
+	}
+	c.codec = newJSONCodec(c.br, c.bw)
+	return c
+}
+
+// Codec returns the connection's current codec.
+func (c *Conn) Codec() Codec {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.codec.name()
+}
+
+// Upgrade switches the connection to the named codec. Call it only at a
+// protocol quiescence point — immediately after sending or receiving the
+// hello — so no frame straddles the switch.
+func (c *Conn) Upgrade(codec Codec) error {
+	parsed, err := ParseCodec(string(codec))
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if parsed == c.codec.name() {
+		return nil
+	}
+	switch parsed {
+	case CodecBinary:
+		c.codec = newBinaryCodec(c.br, c.bw)
+	default:
+		c.codec = newJSONCodec(c.br, c.bw)
+	}
+	return nil
 }
 
 // Send encodes one message. It may be called from multiple goroutines.
 func (c *Conn) Send(m *Message) error {
-	m.prepare()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	if err := c.enc.Encode(m); err != nil {
+	if err := c.codec.encode(m); err != nil {
 		return fmt.Errorf("sbi: send: %w", err)
 	}
 	c.sent++
@@ -52,18 +92,15 @@ func (c *Conn) Send(m *Message) error {
 func (c *Conn) Receive() (*Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	var m Message
-	if err := c.dec.Decode(&m); err != nil {
+	m, err := c.codec.decode()
+	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("sbi: receive: %w", err)
 	}
-	if err := m.finish(); err != nil {
-		return nil, fmt.Errorf("sbi: receive: %w", err)
-	}
 	c.received++
-	return &m, nil
+	return m, nil
 }
 
 // Counters returns the number of messages sent and received.

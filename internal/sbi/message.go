@@ -96,10 +96,11 @@ const (
 // Event is an MB-raised notification. Reprocess events carry the triggering
 // packet; introspection events carry a code (e.g. "nat.mapping.created") and
 // MB-specific values. Both always include the key identifying the state.
+// Key marshals itself (packet.FlowKey implements TextMarshaler), so the wire
+// form is the same "src:port>dst:port/proto" string as before.
 type Event struct {
 	Kind   EventKind         `json:"kind"`
-	Key    packet.FlowKey    `json:"-"`
-	KeyStr string            `json:"key"`
+	Key    packet.FlowKey    `json:"key"`
 	Code   string            `json:"code,omitempty"`
 	Packet []byte            `json:"packet,omitempty"`
 	Values map[string]string `json:"values,omitempty"`
@@ -140,6 +141,10 @@ type Message struct {
 	// Hello fields.
 	Name string `json:"name,omitempty"` // MB instance name, e.g. "prads1"
 	Kind string `json:"kind,omitempty"` // MB type, e.g. "monitor", "ips"
+	// Codec announces the codec the middlebox will use for every frame
+	// after the hello (which is always JSON). Empty means JSON; the
+	// controller switches its side of the connection to match.
+	Codec Codec `json:"codec,omitempty"`
 
 	// Request fields.
 	Op     Op                `json:"op,omitempty"`
@@ -155,9 +160,17 @@ type Message struct {
 	// Compressed marks Blob/Chunk payloads as flate-compressed (§8.3
 	// compression ablation).
 	Compressed bool `json:"compressed,omitempty"`
+	// Batch, on a get request, asks the middlebox to pack up to this many
+	// state chunks into each MsgChunk frame (0 and 1 mean one chunk per
+	// frame, the paper's original framing).
+	Batch int `json:"batch,omitempty"`
 
 	// Chunk payload (MsgChunk, and OpPut*Perflow requests).
 	Chunk *state.Chunk `json:"chunk,omitempty"`
+	// Chunks is the batched chunk payload: a MsgChunk frame (or a batched
+	// put request) carrying several state chunks at once. Chunk and Chunks
+	// may not both be set.
+	Chunks []state.Chunk `json:"chunks,omitempty"`
 
 	// Done payload.
 	Count   int           `json:"count,omitempty"`
@@ -171,21 +184,22 @@ type Message struct {
 	Error string `json:"error,omitempty"`
 }
 
-// prepare fixes up non-JSON-native fields before encoding.
-func (m *Message) prepare() {
-	if m.Event != nil {
-		m.Event.KeyStr = m.Event.Key.String()
+// ChunkCount returns the number of state chunks the frame carries.
+func (m *Message) ChunkCount() int {
+	n := len(m.Chunks)
+	if m.Chunk != nil {
+		n++
 	}
+	return n
 }
 
-// finish restores non-JSON-native fields after decoding.
-func (m *Message) finish() error {
-	if m.Event != nil && m.Event.KeyStr != "" {
-		k, err := parseFlowKey(m.Event.KeyStr)
-		if err != nil {
-			return err
-		}
-		m.Event.Key = k
+// EachChunk invokes fn for every state chunk in the frame, covering both the
+// single-chunk and the batched representation.
+func (m *Message) EachChunk(fn func(c *state.Chunk)) {
+	if m.Chunk != nil {
+		fn(m.Chunk)
 	}
-	return nil
+	for i := range m.Chunks {
+		fn(&m.Chunks[i])
+	}
 }

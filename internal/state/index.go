@@ -1,0 +1,142 @@
+package state
+
+import (
+	"net/netip"
+	"sort"
+
+	"openmb/internal/packet"
+)
+
+// FlowIndex is a flow-keyed index over resident per-flow state, the
+// wildcard-match structure footnote 6 of the paper suggests: gets whose match
+// constrains an address prefix binary-search the covered key ranges instead
+// of scanning the whole table, making a get O(matched + log resident)
+// instead of O(resident).
+//
+// Inserts and removes are O(1): keys land in a hash set and the sorted
+// views are rebuilt lazily on the next Lookup. Per-packet table churn (the
+// hot path) therefore costs one map write; the O(n log n) sort is paid at
+// most once per get, and not at all while no gets arrive. Because a request
+// may name either direction of a flow, the index keeps one ordering by
+// source address and one by destination; candidates from the covered ranges
+// are filtered exactly with MatchEither.
+//
+// FlowIndex is not safe for concurrent use; callers guard it with the same
+// lock that serializes their state table (middlebox logic locks).
+type FlowIndex struct {
+	keys  map[packet.FlowKey]struct{}
+	bySrc []packet.FlowKey // sorted by (SrcIP, SrcPort, DstIP, DstPort, Proto)
+	byDst []packet.FlowKey // sorted by (DstIP, DstPort, SrcIP, SrcPort, Proto)
+	dirty bool
+}
+
+// NewFlowIndex returns an empty index.
+func NewFlowIndex() *FlowIndex {
+	return &FlowIndex{keys: map[packet.FlowKey]struct{}{}}
+}
+
+// Insert adds a key to the index. O(1); the sorted views refresh on the
+// next Lookup.
+func (ix *FlowIndex) Insert(k packet.FlowKey) {
+	if _, ok := ix.keys[k]; ok {
+		return
+	}
+	ix.keys[k] = struct{}{}
+	ix.dirty = true
+}
+
+// Remove deletes a key from the index. O(1).
+func (ix *FlowIndex) Remove(k packet.FlowKey) {
+	if _, ok := ix.keys[k]; !ok {
+		return
+	}
+	delete(ix.keys, k)
+	ix.dirty = true
+}
+
+// Len returns the number of indexed keys.
+func (ix *FlowIndex) Len() int { return len(ix.keys) }
+
+func srcLess(a, b packet.FlowKey) bool {
+	if c := a.SrcIP.Compare(b.SrcIP); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if c := a.DstIP.Compare(b.DstIP); c != 0 {
+		return c < 0
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+func dstLess(a, b packet.FlowKey) bool {
+	if c := a.DstIP.Compare(b.DstIP); c != 0 {
+		return c < 0
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	if c := a.SrcIP.Compare(b.SrcIP); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.Proto < b.Proto
+}
+
+// rebuild refreshes the sorted views from the key set.
+func (ix *FlowIndex) rebuild() {
+	ix.bySrc = ix.bySrc[:0]
+	for k := range ix.keys {
+		ix.bySrc = append(ix.bySrc, k)
+	}
+	ix.byDst = append(ix.byDst[:0], ix.bySrc...)
+	sort.Slice(ix.bySrc, func(i, j int) bool { return srcLess(ix.bySrc[i], ix.bySrc[j]) })
+	sort.Slice(ix.byDst, func(i, j int) bool { return dstLess(ix.byDst[i], ix.byDst[j]) })
+	ix.dirty = false
+}
+
+// Lookup returns the keys matching m (in either direction) and whether the
+// index was applicable. A match with no address constraint returns
+// (nil, false): every key would be a candidate, so a table scan is optimal
+// and the caller should fall back to it.
+func (ix *FlowIndex) Lookup(m packet.FieldMatch) ([]packet.FlowKey, bool) {
+	var prefixes []netip.Prefix
+	if m.SrcPrefix.IsValid() {
+		prefixes = append(prefixes, m.SrcPrefix)
+	}
+	if m.DstPrefix.IsValid() {
+		prefixes = append(prefixes, m.DstPrefix)
+	}
+	if len(prefixes) == 0 {
+		return nil, false
+	}
+	if ix.dirty {
+		ix.rebuild()
+	}
+	seen := map[packet.FlowKey]bool{}
+	var out []packet.FlowKey
+	add := func(k packet.FlowKey) {
+		if !seen[k] && m.MatchEither(k) {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, p := range prefixes {
+		lo := p.Masked().Addr()
+		start := sort.Search(len(ix.bySrc), func(i int) bool { return ix.bySrc[i].SrcIP.Compare(lo) >= 0 })
+		for i := start; i < len(ix.bySrc) && p.Contains(ix.bySrc[i].SrcIP); i++ {
+			add(ix.bySrc[i])
+		}
+		start = sort.Search(len(ix.byDst), func(i int) bool { return ix.byDst[i].DstIP.Compare(lo) >= 0 })
+		for i := start; i < len(ix.byDst) && p.Contains(ix.byDst[i].DstIP); i++ {
+			add(ix.byDst[i])
+		}
+	}
+	return out, true
+}

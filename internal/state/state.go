@@ -84,9 +84,8 @@ type Chunk struct {
 	Blob []byte         `json:"blob"`
 }
 
-// Size returns the wire footprint of the chunk in bytes (key plus blob;
-// the key serializes to 13 bytes).
-func (c Chunk) Size() int { return 13 + len(c.Blob) }
+// Size returns the wire footprint of the chunk in bytes (key plus blob).
+func (c Chunk) Size() int { return packet.FlowKeyWireSize + len(c.Blob) }
 
 // Sealer encrypts and authenticates state blobs before they leave a
 // middlebox, so that supporting state remains opaque to the controller and

@@ -49,7 +49,8 @@ import (
 // through the northbound API.
 type Controller = core.Controller
 
-// ControllerOptions tunes the controller (quiet period, compression).
+// ControllerOptions tunes the controller (quiet period, compression, chunk
+// batch size).
 type ControllerOptions = core.Options
 
 // NewController creates an OpenMB controller.
@@ -84,6 +85,19 @@ type MemTransport = sbi.MemTransport
 
 // NewMemTransport creates an isolated in-memory transport namespace.
 func NewMemTransport() *MemTransport { return sbi.NewMemTransport() }
+
+// Codec names an SBI wire codec; see RuntimeOptions.Codec.
+type Codec = sbi.Codec
+
+// Supported SBI codecs: newline-delimited JSON (the paper prototype's
+// format, and the default) and the length-prefixed binary fast path.
+const (
+	CodecJSON   = sbi.CodecJSON
+	CodecBinary = sbi.CodecBinary
+)
+
+// ParseCodec validates a codec name ("" means JSON).
+func ParseCodec(s string) (Codec, error) { return sbi.ParseCodec(s) }
 
 // Event is a middlebox-raised notification (reprocess or introspection).
 type Event = sbi.Event
