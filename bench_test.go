@@ -7,6 +7,7 @@ package openmb
 // reports (events, bytes, chunk counts) alongside ns/op.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -103,14 +104,42 @@ func BenchmarkFigure10aSingleMove(b *testing.B) {
 	})
 }
 
+// figure10bPairs is the concurrency sweep BenchmarkFigure10bConcurrentMoves
+// and its serialized ablation share, so their sub-benchmarks compare
+// directly (`benchstat` lines pair up by name).
+var figure10bPairs = []int{1, 4, 16, 32}
+
 // BenchmarkFigure10bConcurrentMoves regenerates Figure 10(b): average move
-// time versus simultaneous operations.
+// time versus simultaneous operations, one sub-benchmark per pair count,
+// on the sharded transaction router (shards from OPENMB_SHARDS, else the
+// controller's GOMAXPROCS-derived default).
 func BenchmarkFigure10bConcurrentMoves(b *testing.B) {
-	runExp(b, func() (*eval.Table, error) {
-		return eval.Figure10bConcurrentMoves(eval.Figure10bConfig{
-			Concurrency: []int{1, 4, 8}, ChunkCounts: []int{1000},
+	for _, pairs := range figure10bPairs {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			runExp(b, func() (*eval.Table, error) {
+				return eval.Figure10bConcurrentMoves(eval.Figure10bConfig{
+					Concurrency: []int{pairs}, ChunkCounts: []int{1000},
+				})
+			})
 		})
-	})
+	}
+}
+
+// BenchmarkAblationSerializedMoves is the shards=1 ablation of Figure 10(b):
+// the seed's serialized transaction path (single routing lock, sleep-poll
+// completion goroutine per transaction, one goroutine per put frame).
+// Compare against BenchmarkFigure10bConcurrentMoves at the same pair counts
+// to see what the sharded router, completer, and bounded put pool buy.
+func BenchmarkAblationSerializedMoves(b *testing.B) {
+	for _, pairs := range figure10bPairs {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			runExp(b, func() (*eval.Table, error) {
+				return eval.Figure10bConcurrentMoves(eval.Figure10bConfig{
+					Concurrency: []int{pairs}, ChunkCounts: []int{1000}, Shards: 1,
+				})
+			})
+		})
+	}
 }
 
 // BenchmarkSnapshotComparison regenerates the §8.1.2 snapshot experiment.

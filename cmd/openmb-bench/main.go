@@ -7,10 +7,14 @@
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
 //
-// -codec and -batch select the SBI wire codec (json|binary) and the number
-// of state chunks per frame for every experiment, so full-sweep tables can
-// compare transfer-plane configurations (e.g. the paper-faithful JSON
-// one-chunk frames against the binary batched fast path).
+// -codec and -batch select the SBI wire codec (binary by default, json for
+// the paper-faithful compatibility framing) and the number of state chunks
+// per frame for every experiment, so full-sweep tables can compare
+// transfer-plane configurations. -shards sets the controller's
+// transaction-router shard count: 0 (default) lets the controller derive it
+// from GOMAXPROCS, and 1 selects the serialized ablation that reproduces the
+// seed's single-lock transaction path — sweep f10b under both to measure
+// what sharding buys concurrent moves.
 package main
 
 import (
@@ -25,20 +29,24 @@ import (
 )
 
 func main() {
-	// Flag defaults inherit the OPENMB_CODEC/OPENMB_BATCH environment (the
-	// paper-faithful json/1 otherwise), so either mechanism tunes a run and
-	// explicit flags win.
+	// Flag defaults inherit the OPENMB_CODEC/OPENMB_BATCH/OPENMB_SHARDS
+	// environment (binary/1/auto otherwise), so either mechanism tunes a
+	// run and explicit flags win.
 	envCodec, envBatch := eval.TransferTuning()
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
 	scale := flag.String("scale", "quick", "quick|full parameter scale")
-	codec := flag.String("codec", string(envCodec), "SBI wire codec for all experiments: json|binary")
+	codec := flag.String("codec", string(envCodec), "SBI wire codec for all experiments: binary (default) or json (compatibility)")
 	batch := flag.Int("batch", envBatch, "state chunks per SBI frame (1 = the paper's framing)")
+	shards := flag.Int("shards", eval.Shards(), "controller transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation)")
 	flag.Parse()
 
 	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("transfer tuning: codec=%s batch=%d\n\n", *codec, *batch)
+	if err := eval.SetShards(*shards); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto)\n\n", *codec, *batch, *shards)
 
 	full := *scale == "full"
 	want := map[string]bool{}
@@ -84,7 +92,7 @@ func main() {
 		}},
 		{"f10b", func() (*eval.Table, error) {
 			return eval.Figure10bConcurrentMoves(eval.Figure10bConfig{
-				Concurrency: pickSlice(full, []int{1, 2, 4, 8, 16, 20}, []int{1, 2, 4, 8}),
+				Concurrency: pickSlice(full, []int{1, 2, 4, 8, 16, 32, 64}, []int{1, 2, 4, 8}),
 				ChunkCounts: pickSlice(full, []int{1000, 2000, 3000}, []int{500, 1000}),
 			})
 		}},

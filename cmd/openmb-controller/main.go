@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"openmb"
@@ -21,6 +22,7 @@ func main() {
 	quiet := flag.Duration("quiet-period", 5*time.Second, "event quiescence before completing transactions (the paper's 5 s default)")
 	compress := flag.Bool("compress", false, "flate-compress state transfers (§8.3)")
 	batch := flag.Int("batch", 1, "state chunks per frame during moves (1 = the paper's one-chunk frames)")
+	shards := flag.Int("shards", envShards(), "transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation; default from OPENMB_SHARDS)")
 	events := flag.Bool("log-events", true, "log introspection events")
 	flag.Parse()
 
@@ -28,6 +30,7 @@ func main() {
 		QuietPeriod: *quiet,
 		Compress:    *compress,
 		BatchSize:   *batch,
+		Shards:      *shards,
 	})
 	if *events {
 		ctrl.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
@@ -37,7 +40,8 @@ func main() {
 	if err := ctrl.Serve(openmb.TCPTransport{}, *listen); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v, batch=%d)", *listen, *quiet, *compress, *batch)
+	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v, batch=%d, shards=%d)",
+		*listen, *quiet, *compress, *batch, ctrl.Shards())
 
 	// Periodically report the registered middleboxes.
 	go func() {
@@ -51,4 +55,20 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	ctrl.Close()
+}
+
+// envShards reads the OPENMB_SHARDS default for the -shards flag; 0 (auto)
+// when unset or malformed — a daemon should start rather than die on a
+// stale environment variable, and the resolved count is logged at startup.
+func envShards() int {
+	env := os.Getenv("OPENMB_SHARDS")
+	if env == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 0 {
+		log.Printf("openmb-controller: ignoring OPENMB_SHARDS=%q: want a non-negative integer", env)
+		return 0
+	}
+	return n
 }

@@ -25,7 +25,7 @@ func main() {
 	kind := flag.String("kind", "monitor", "middlebox type: monitor|ips|re-encoder|re-decoder|nat|lb")
 	tracePath := flag.String("trace", "", "optional trace file to replay through the packet path")
 	pace := flag.Duration("pace", 0, "delay between replayed packets")
-	codecName := flag.String("codec", "json", "southbound wire codec: json (paper-faithful) or binary (fast path)")
+	codecName := flag.String("codec", "binary", "southbound wire codec: binary (default fast path) or json (paper-faithful compatibility/debug)")
 	natIP := flag.String("nat-ip", "5.5.5.5", "external IP for -kind nat")
 	lbVIP := flag.String("lb-vip", "1.1.1.100:80", "VIP for -kind lb")
 	lbBackends := flag.String("lb-backends", "1.1.1.10:8080,1.1.1.11:8080", "comma-separated backends for -kind lb")

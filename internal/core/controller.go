@@ -19,9 +19,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +46,29 @@ type Options struct {
 	// to pack per MsgChunk frame during moves, and how many it forwards
 	// per put. 0 and 1 mean one chunk per frame (the paper's framing).
 	BatchSize int
+	// Shards is the number of transaction-router shards event routing,
+	// chunk registration, and put acknowledgment are partitioned over,
+	// rounded up to a power of two. 0 (or a negative value) selects a
+	// default derived from GOMAXPROCS (minimum 2, so the concurrent
+	// lifecycle is the default even on single-core hosts). Shards = 1 is
+	// the serialized ablation:
+	// it restores the seed's transaction path — one global routing lock,
+	// one sleep-poll completion goroutine per transaction, and one
+	// goroutine per put frame — so the sharded fast path can be measured
+	// against it (eval's Figure 10(b) sweep does exactly that).
+	Shards int
+	// PutWorkers bounds how many puts one MoveInternal keeps in flight
+	// (default 64 — deep enough to hide the put ACK round trip, measured
+	// on the Figure 10(b) sweep, while bounding memory). The seed spawned
+	// one goroutine per received frame, so a large move under concurrency
+	// held thousands of blocked goroutines, their per-call channels, and
+	// their pinned frames.
+	PutWorkers int
 }
+
+// maxShards caps the router shard count; beyond this, shard maps cost more
+// than the contention they avoid.
+const maxShards = 4096
 
 func (o *Options) setDefaults() {
 	if o.QuietPeriod == 0 {
@@ -58,12 +80,41 @@ func (o *Options) setDefaults() {
 	if o.BatchSize < 1 {
 		o.BatchSize = 1
 	}
+	if o.Shards <= 0 {
+		// 0 and nonsense negatives both select the automatic default;
+		// only an explicit 1 may degrade to the serialized ablation.
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards < 2 {
+			o.Shards = 2
+		}
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
+	o.Shards = ceilPow2(o.Shards)
+	if o.PutWorkers < 1 {
+		o.PutWorkers = 64
+	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Controller is the OpenMB middlebox controller.
 type Controller struct {
 	opts     Options
 	listener net.Listener
+
+	// router shards transaction routing state (see router.go); completer
+	// finishes quiescent transactions (see completer.go).
+	router    *txnRouter
+	completer *completer
 
 	mu  sync.Mutex
 	mbs map[string]*mbConn
@@ -88,7 +139,40 @@ type Controller struct {
 // NewController creates a controller with the given options.
 func NewController(opts Options) *Controller {
 	opts.setDefaults()
-	return &Controller{opts: opts, mbs: map[string]*mbConn{}}
+	c := &Controller{opts: opts, mbs: map[string]*mbConn{}}
+	c.router = newTxnRouter(opts.Shards)
+	c.completer = newCompleter(c)
+	return c
+}
+
+// Shards reports the resolved router shard count (after defaulting and
+// power-of-two rounding); 1 means the serialized ablation path.
+func (c *Controller) Shards() int { return c.opts.Shards }
+
+// serialized reports whether the controller runs the seed's serialized
+// transaction path (the shards=1 ablation).
+func (c *Controller) serialized() bool { return c.opts.Shards == 1 }
+
+// finishAfterQuiet arranges for fn to run once t's source has been quiet for
+// the configured period. The sharded path queues it on the completer; the
+// shards=1 ablation reproduces the seed's per-transaction sleep-poll
+// goroutine.
+func (c *Controller) finishAfterQuiet(t *txn, fn func()) {
+	c.txnWG.Add(1)
+	if c.serialized() {
+		go func() {
+			defer c.txnWG.Done()
+			for !t.quietSince(c.opts.QuietPeriod) {
+				time.Sleep(c.opts.QuietPeriod / 5)
+			}
+			fn()
+		}()
+		return
+	}
+	c.completer.schedule(t, func() {
+		defer c.txnWG.Done()
+		fn()
+	})
 }
 
 // Serve starts accepting middlebox connections on addr over the given
@@ -133,8 +217,6 @@ func (c *Controller) handleConn(conn *sbi.Conn) {
 		name: hello.Name, kind: hello.Kind,
 		conn: conn, ctrl: c,
 		pending: map[uint64]*call{},
-		keyTxns: map[packet.FlowKey]*txn{},
-		orphans: map[packet.FlowKey][]*sbi.Event{},
 	}
 	c.mu.Lock()
 	if _, dup := c.mbs[mb.name]; dup {
@@ -149,9 +231,11 @@ func (c *Controller) handleConn(conn *sbi.Conn) {
 	for _, w := range waiters {
 		close(w)
 	}
-	mb.readLoop()
-	// The MB disconnected: fail outstanding calls and deregister.
-	mb.failAll(errors.New("core: middlebox disconnected"))
+	err = mb.readLoop()
+	// The MB disconnected: fail outstanding calls with the reason, drop
+	// its routing state, and deregister.
+	mb.failAll(fmt.Errorf("middlebox disconnected: %w", err))
+	c.router.purgeMB(mb)
 	c.mu.Lock()
 	if c.mbs[mb.name] == mb {
 		delete(c.mbs, mb.name)
@@ -303,12 +387,17 @@ func (c *Controller) Close() {
 	for _, mb := range mbs {
 		mb.conn.Close()
 	}
+	// Stop the completer last: pending completions dispatch immediately
+	// and their southbound calls fail fast on the closed connections.
+	c.completer.close()
 }
 
 // mbConn is the controller's view of one connected middlebox. The paper's
 // prototype dedicates one thread per MB to operations and one to events;
 // here a single reader goroutine dispatches responses to per-call channels
-// and events to the transaction router.
+// and events to the sharded transaction router. Per-flow routing state lives
+// in the controller's router (see router.go); the connection itself keeps
+// only the shared-state owner and a live-transaction count.
 type mbConn struct {
 	name string
 	kind string
@@ -319,25 +408,25 @@ type mbConn struct {
 	nextID  uint64
 	pending map[uint64]*call
 
-	// Transaction routing state (this MB as a transaction source).
-	txnMu     sync.Mutex
-	keyTxns   map[packet.FlowKey]*txn
-	sharedTxn *txn
-	// orphans holds reprocess events that arrived before the chunk that
-	// registers their key: a packet processed between a chunk's snapshot
-	// and the chunk's transmission puts its event ahead of the chunk on
-	// the wire. The registering transaction adopts them.
-	orphans map[packet.FlowKey][]*sbi.Event
+	// sharedTxn is the transaction that currently owns this MB's shared
+	// state: at most one clone/merge per source runs at a time.
+	sharedTxn atomic.Pointer[txn]
+	// liveTxns counts transactions with this MB as their source; when it
+	// drops to zero the router discards the MB's orphaned events.
+	liveTxns atomic.Int64
 }
 
 // call is one outstanding request. Streaming responses (get chunks) are
 // delivered through ch before the final done/error message. For gets that
 // are part of a transaction, txn is set so the read loop can register
-// streamed keys before any later event is dispatched.
+// streamed keys before any later event is dispatched. err records why the
+// call was aborted; it is written before ch closes, so the channel close
+// publishes it to the waiter.
 type call struct {
 	ch   chan *sbi.Message
 	txn  *txn
 	dead chan struct{}
+	err  error
 }
 
 func (mb *mbConn) newCall(t *txn) (uint64, *call) {
@@ -360,22 +449,34 @@ func (mb *mbConn) dropCall(id uint64) {
 	}
 }
 
+// failAll aborts every outstanding call, recording err as the reason each
+// waiter observes (the seed discarded it and callers saw only a generic
+// "disconnected").
 func (mb *mbConn) failAll(err error) {
 	mb.mu.Lock()
 	pend := mb.pending
 	mb.pending = map[uint64]*call{}
 	mb.mu.Unlock()
 	for _, cl := range pend {
+		cl.err = err
 		close(cl.ch)
 	}
-	_ = err
 }
 
-func (mb *mbConn) readLoop() {
+// abortErr renders the error a waiter reports when its call channel closed:
+// the recorded disconnect reason when there is one.
+func (mb *mbConn) abortErr(cl *call, op sbi.Op) error {
+	if cl.err != nil {
+		return fmt.Errorf("core: %s %s: %w", mb.name, op, cl.err)
+	}
+	return fmt.Errorf("core: %s disconnected during %s", mb.name, op)
+}
+
+func (mb *mbConn) readLoop() error {
 	for {
 		m, err := mb.conn.Receive()
 		if err != nil {
-			return
+			return err
 		}
 		switch m.Type {
 		case sbi.MsgEvent:
@@ -392,7 +493,7 @@ func (mb *mbConn) readLoop() {
 				// for any of these keys received later on this
 				// connection always finds the transaction.
 				m.EachChunk(func(ch *state.Chunk) {
-					cl.txn.registerChunk(mb, ch.Key)
+					cl.txn.registerChunk(ch.Key)
 				})
 			}
 			// Blocking send: chunk streams may outpace the consumer
@@ -413,12 +514,14 @@ func (mb *mbConn) call(req *sbi.Message, timeout time.Duration) (*sbi.Message, e
 	defer mb.dropCall(id)
 	req.ID = id
 	if err := mb.conn.Send(req); err != nil {
-		return nil, err
+		// Usually a dead connection, but the binary codec also rejects
+		// unencodable frames here — keep the underlying error visible.
+		return nil, fmt.Errorf("core: %s %s: send failed (middlebox disconnected?): %w", mb.name, req.Op, err)
 	}
 	select {
 	case m, ok := <-cl.ch:
 		if !ok {
-			return nil, fmt.Errorf("core: %s disconnected during %s", mb.name, req.Op)
+			return nil, mb.abortErr(cl, req.Op)
 		}
 		if m.Type == sbi.MsgError {
 			return nil, fmt.Errorf("core: %s %s: %s", mb.name, req.Op, m.Error)
@@ -438,7 +541,7 @@ func (mb *mbConn) stream(t *txn, req *sbi.Message, timeout time.Duration, onChun
 	defer mb.dropCall(id)
 	req.ID = id
 	if err := mb.conn.Send(req); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("core: %s %s: send failed (middlebox disconnected?): %w", mb.name, req.Op, err)
 	}
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
@@ -446,7 +549,7 @@ func (mb *mbConn) stream(t *txn, req *sbi.Message, timeout time.Duration, onChun
 		select {
 		case m, ok := <-cl.ch:
 			if !ok {
-				return 0, fmt.Errorf("core: %s disconnected during %s", mb.name, req.Op)
+				return 0, mb.abortErr(cl, req.Op)
 			}
 			switch m.Type {
 			case sbi.MsgChunk:

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"openmb/internal/mbox/mbtest"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
+	"openmb/internal/state"
 )
 
 // rig is a controller with two counter middleboxes attached over an
@@ -376,6 +379,235 @@ func TestConcurrentMoves(t *testing.T) {
 	}
 	if !r.ctrl.WaitTxns(10 * time.Second) {
 		t.Fatal("transactions did not complete")
+	}
+}
+
+// TestShardEquivalence runs the same move-under-traffic scenario on the
+// serialized ablation (Shards: 1, the seed transaction path) and on the
+// sharded router, and requires the identical externally visible outcome:
+// every packet counted exactly once at the destination, the source emptied.
+func TestShardEquivalence(t *testing.T) {
+	const flows = 60
+	run := func(t *testing.T, shards int) (sum uint64, sent int) {
+		r := newRig(t, core.Options{QuietPeriod: 80 * time.Millisecond, Shards: shards})
+		r.src.Preload(flows)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.srcRT.HandlePacket(mbtest.PacketForFlow(i % flows))
+				sent++
+				i++
+				if i%50 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		time.Sleep(5 * time.Millisecond)
+		if err := r.ctrl.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		if !r.srcRT.Drain(2*time.Second) || !r.ctrl.WaitTxns(10*time.Second) || !r.dstRT.Drain(2*time.Second) {
+			t.Fatal("scenario did not settle")
+		}
+		if r.src.Flows() != 0 {
+			t.Fatalf("shards=%d: src flows remain: %d", shards, r.src.Flows())
+		}
+		return r.dst.SumCounts(), sent
+	}
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sum, sent := run(t, shards)
+			if want := uint64(flows + sent); sum != want {
+				t.Fatalf("shards=%d: dst sum=%d want=%d", shards, sum, want)
+			}
+		})
+	}
+}
+
+// TestConcurrentMovesManyKeys drives several simultaneous moves, each over
+// many flow keys with live traffic, through the sharded router — the
+// concurrent path the Figure 10(b) sweep measures, as a correctness check
+// (run under -race in CI).
+func TestConcurrentMovesManyKeys(t *testing.T) {
+	const pairs, flows = 4, 150
+	r := newRig(t, core.Options{QuietPeriod: 80 * time.Millisecond, Shards: 8})
+	logics := make([]*mbtest.CounterLogic, 2*pairs)
+	rts := make([]*mbox.Runtime, 2*pairs)
+	for i := range logics {
+		logics[i] = mbtest.NewCounterLogic(16)
+		rts[i] = r.attach(t, fmt.Sprintf("mb%d", i), logics[i])
+	}
+	for i := 0; i < pairs; i++ {
+		logics[2*i].Preload(flows)
+	}
+
+	stop := make(chan struct{})
+	sent := make([]int, pairs)
+	var traffic sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		traffic.Add(1)
+		go func(i int) {
+			defer traffic.Done()
+			n := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rts[2*i].HandlePacket(mbtest.PacketForFlow(n % flows))
+				sent[i]++
+				n++
+				if n%40 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+
+	var moves sync.WaitGroup
+	errs := make([]error, pairs)
+	for i := 0; i < pairs; i++ {
+		moves.Add(1)
+		go func(i int) {
+			defer moves.Done()
+			errs[i] = r.ctrl.MoveInternal(fmt.Sprintf("mb%d", 2*i), fmt.Sprintf("mb%d", 2*i+1), packet.MatchAll)
+		}(i)
+	}
+	moves.Wait()
+	close(stop)
+	traffic.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	for i := 0; i < pairs; i++ {
+		if !rts[2*i].Drain(2 * time.Second) {
+			t.Fatalf("source %d did not drain", i)
+		}
+	}
+	if !r.ctrl.WaitTxns(15 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	for i := 0; i < pairs; i++ {
+		if !rts[2*i+1].Drain(2 * time.Second) {
+			t.Fatalf("destination %d did not drain replays", i)
+		}
+		want := uint64(flows + sent[i])
+		if got := logics[2*i+1].SumCounts(); got != want {
+			t.Fatalf("pair %d: dst sum=%d want=%d", i, got, want)
+		}
+		if got := logics[2*i].Flows(); got != 0 {
+			t.Fatalf("pair %d: src flows remain: %d", i, got)
+		}
+	}
+}
+
+// stallGetLogic wraps a CounterLogic so its first per-flow export signals
+// the test and then blocks until released — a deterministic way to catch a
+// move with its get stream in flight.
+type stallGetLogic struct {
+	*mbtest.CounterLogic
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (l *stallGetLogic) GetPerflow(class state.Class, m packet.FieldMatch, emit func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error) error {
+	return l.CounterLogic.GetPerflow(class, m, func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error {
+		l.once.Do(func() { close(l.started) })
+		<-l.release
+		return emit(key, build)
+	})
+}
+
+// TestDisconnectErrorIsPropagated: calls outstanding when a middlebox drops
+// must report the disconnect reason, not a generic failure (the seed
+// discarded failAll's error). The source's get stream is stalled on its
+// first chunk, so the disconnect deterministically lands mid-call.
+func TestDisconnectErrorIsPropagated(t *testing.T) {
+	r := newRig(t, core.Options{})
+	stalled := &stallGetLogic{
+		CounterLogic: mbtest.NewCounterLogic(16),
+		started:      make(chan struct{}),
+		release:      make(chan struct{}),
+	}
+	stalled.Preload(50)
+	rt := r.attach(t, "stall", stalled)
+	errCh := make(chan error, 1)
+	go func() { errCh <- r.ctrl.MoveInternal("stall", "dst", packet.MatchAll) }()
+	<-stalled.started
+	go rt.Close() // Close waits for the stalled worker; release it after
+	defer close(stalled.release)
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("move across a disconnect succeeded")
+		}
+		if !strings.Contains(err.Error(), "disconnected") {
+			t.Fatalf("error does not carry the disconnect reason: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("move did not fail after disconnect")
+	}
+}
+
+// TestOppositeMovesDoNotDeadlock runs two large concurrent moves in
+// opposite directions between the same MB pair. Each MB's read loop then
+// both delivers the other move's chunks and carries this move's put ACKs;
+// if the put pipeline ever backpressures the chunk path, the ACKs behind it
+// become undeliverable and the moves deadlock until CallTimeout. The put
+// queue must therefore never block the stream consumer.
+func TestOppositeMovesDoNotDeadlock(t *testing.T) {
+	const flows = 600 // enough to exceed any in-flight put window
+	r := newRig(t, core.Options{QuietPeriod: 60 * time.Millisecond, Shards: 4, CallTimeout: 8 * time.Second})
+	for i := 0; i < flows; i++ {
+		r.srcRT.HandlePacket(mbtest.PacketForFlow(i))         // 10.0.x.x
+		r.dstRT.HandlePacket(mbtest.PacketForFlow(1<<16 + i)) // 10.1.x.x
+	}
+	if !r.srcRT.Drain(5*time.Second) || !r.dstRT.Drain(5*time.Second) {
+		t.Fatal("preload did not drain")
+	}
+	m1, err := packet.ParseFieldMatch("[nw_src=10.0.0.0/16]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := packet.ParseFieldMatch("[nw_src=10.1.0.0/16]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- r.ctrl.MoveInternal("src", "dst", m1) }()
+	go func() { errs <- r.ctrl.MoveInternal("dst", "src", m2) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("opposite-direction move failed: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("opposite-direction moves deadlocked")
+		}
+	}
+	if !r.ctrl.WaitTxns(10 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	// The populations swapped: each side now holds the other's flows.
+	if r.src.Flows() != flows || r.dst.Flows() != flows {
+		t.Fatalf("flows after swap: src=%d dst=%d, want %d each", r.src.Flows(), r.dst.Flows(), flows)
 	}
 }
 

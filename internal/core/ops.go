@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
@@ -83,185 +82,56 @@ func (c *Controller) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, 
 	return *reply.Stats, nil
 }
 
-// txn tracks one move/clone/merge transaction: which keys have outstanding
-// puts, the events buffered against them, and when the source last raised an
-// event (for quiet-period completion).
-type txn struct {
-	ctrl *Controller
-	src  *mbConn
-	dst  *mbConn
-
-	mu sync.Mutex
-	// pendingPuts counts unacknowledged puts per key.
-	pendingPuts map[packet.FlowKey]int
-	// buffered holds events per key until the key's puts are ACKed.
-	buffered map[packet.FlowKey][]*sbi.Event
-	// sharedPending counts unacknowledged shared puts; sharedBuffered
-	// holds shared-state events meanwhile.
-	sharedPending  int
-	sharedBuffered []*sbi.Event
-	lastEvent      time.Time
-	sawEvent       bool
-	ended          bool
+// putJob is one received chunk frame to forward to a move's destination.
+type putJob struct {
+	op    sbi.Op
+	frame *sbi.Message
+	keys  []packet.FlowKey
 }
 
-func newTxn(c *Controller, src, dst *mbConn) *txn {
-	return &txn{
-		ctrl: c, src: src, dst: dst,
-		pendingPuts: map[packet.FlowKey]int{},
-		buffered:    map[packet.FlowKey][]*sbi.Event{},
-		lastEvent:   time.Now(),
-	}
+// putQueue is an unbounded FIFO of put jobs feeding a move's worker pool.
+// push never blocks (see the deadlock note in MoveInternal); pop blocks
+// until a job is available or the queue is closed and drained.
+type putQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []putJob
+	closed bool
 }
 
-// registerChunk attaches the txn to the source's routing tables for key and
-// adopts any orphaned events that raced ahead of the chunk. Called from the
-// source's read loop, before the chunk is delivered to the move consumer, so
-// event routing can never miss the registration.
-func (t *txn) registerChunk(mb *mbConn, key packet.FlowKey) {
-	mb.txnMu.Lock()
-	mb.keyTxns[key] = t
-	adopted := mb.orphans[key]
-	delete(mb.orphans, key)
-	mb.txnMu.Unlock()
-	t.mu.Lock()
-	t.pendingPuts[key]++
-	if len(adopted) > 0 {
-		t.buffered[key] = append(t.buffered[key], adopted...)
-		t.ctrl.eventsBuffered.Add(uint64(len(adopted)))
-	}
-	t.mu.Unlock()
+func newPutQueue() *putQueue {
+	q := &putQueue{}
+	q.cond.L = &q.mu
+	return q
 }
 
-func (t *txn) registerShared() {
-	t.src.txnMu.Lock()
-	t.src.sharedTxn = t
-	t.src.txnMu.Unlock()
-	t.mu.Lock()
-	t.sharedPending++
-	t.mu.Unlock()
+func (q *putQueue) push(j putJob) {
+	q.mu.Lock()
+	q.items = append(q.items, j)
+	q.mu.Unlock()
+	q.cond.Signal()
 }
 
-// ackPut marks one put for key acknowledged and flushes buffered events.
-func (t *txn) ackPut(key packet.FlowKey) {
-	t.mu.Lock()
-	t.pendingPuts[key]--
-	var flush []*sbi.Event
-	if t.pendingPuts[key] <= 0 {
-		flush = t.buffered[key]
-		delete(t.buffered, key)
-	}
-	t.mu.Unlock()
-	t.forward(flush)
+func (q *putQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
-func (t *txn) ackSharedPut() {
-	t.mu.Lock()
-	t.sharedPending--
-	var flush []*sbi.Event
-	if t.sharedPending <= 0 {
-		flush = t.sharedBuffered
-		t.sharedBuffered = nil
+func (q *putQueue) pop() (putJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
 	}
-	t.mu.Unlock()
-	t.forward(flush)
-}
-
-func (t *txn) forward(evs []*sbi.Event) {
-	for _, ev := range evs {
-		t.ctrl.eventsForwarded.Add(1)
-		_ = t.dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
+	if len(q.items) == 0 {
+		return putJob{}, false
 	}
-}
-
-// handleEvent routes one reprocess event from the source: buffer while the
-// corresponding put is outstanding, forward (in order) otherwise.
-func (t *txn) handleEvent(ev *sbi.Event) {
-	t.mu.Lock()
-	t.lastEvent = time.Now()
-	t.sawEvent = true
-	if ev.Shared {
-		if t.sharedPending > 0 || len(t.sharedBuffered) > 0 {
-			t.sharedBuffered = append(t.sharedBuffered, ev)
-			t.ctrl.eventsBuffered.Add(1)
-			t.mu.Unlock()
-			return
-		}
-	} else if t.pendingPuts[ev.Key] > 0 || len(t.buffered[ev.Key]) > 0 {
-		t.buffered[ev.Key] = append(t.buffered[ev.Key], ev)
-		t.ctrl.eventsBuffered.Add(1)
-		t.mu.Unlock()
-		return
-	}
-	t.mu.Unlock()
-	t.ctrl.eventsForwarded.Add(1)
-	_ = t.dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
-}
-
-// quietSince reports whether no events have arrived for d.
-func (t *txn) quietSince(d time.Duration) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return time.Since(t.lastEvent) >= d
-}
-
-// detach removes the txn from the source's routing tables. When the source
-// has no remaining transactions, stale orphaned events are discarded.
-func (t *txn) detach() {
-	t.src.txnMu.Lock()
-	for k, owner := range t.src.keyTxns {
-		if owner == t {
-			delete(t.src.keyTxns, k)
-		}
-	}
-	if t.src.sharedTxn == t {
-		t.src.sharedTxn = nil
-	}
-	if len(t.src.keyTxns) == 0 && t.src.sharedTxn == nil {
-		t.src.orphans = map[packet.FlowKey][]*sbi.Event{}
-	}
-	t.src.txnMu.Unlock()
-}
-
-// routeEvent dispatches an MB-raised event: introspection events go to
-// subscribers; reprocess events go to the transaction that owns the state.
-func (c *Controller) routeEvent(src *mbConn, ev *sbi.Event) {
-	if ev == nil {
-		return
-	}
-	if ev.Kind == sbi.EventIntrospection {
-		c.introMu.Lock()
-		subs := append([]func(string, *sbi.Event){}, c.introSubs...)
-		c.introMu.Unlock()
-		for _, fn := range subs {
-			fn(src.name, ev)
-		}
-		return
-	}
-	src.txnMu.Lock()
-	var t *txn
-	if ev.Shared {
-		t = src.sharedTxn
-	} else {
-		t = src.keyTxns[ev.Key]
-	}
-	src.txnMu.Unlock()
-	if t == nil {
-		if ev.Kind == sbi.EventReprocess && !ev.Shared {
-			// The event may have raced ahead of the chunk that
-			// registers its key (a packet processed between the
-			// chunk's snapshot and its transmission). Hold it for
-			// adoption; bounded so stragglers from completed
-			// transactions cannot accumulate.
-			src.txnMu.Lock()
-			if len(src.orphans[ev.Key]) < 256 {
-				src.orphans[ev.Key] = append(src.orphans[ev.Key], ev)
-			}
-			src.txnMu.Unlock()
-		}
-		return
-	}
-	t.handleEvent(ev)
+	j := q.items[0]
+	q.items[0] = putJob{} // drop the frame reference for the collector
+	q.items = q.items[1:]
+	return j, true
 }
 
 // MoveInternal implements moveInternal(SrcMB, DstMB, HeaderFieldList):
@@ -282,8 +152,67 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 	c.movesStarted.Add(1)
 	t := newTxn(c, src, dst)
 
+	errCh := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	doPut := func(j putJob) {
+		put := &sbi.Message{
+			Type: sbi.MsgRequest, Op: j.op,
+			Chunk: j.frame.Chunk, Chunks: j.frame.Chunks,
+			Compressed: j.frame.Compressed,
+		}
+		if _, perr := dst.call(put, c.opts.CallTimeout); perr != nil {
+			fail(perr)
+		}
+		for _, key := range j.keys {
+			t.ackPut(key)
+		}
+	}
+
+	// Puts run on a bounded worker pool fed by an unbounded FIFO: the
+	// destination installs chunks from one southbound goroutine anyway,
+	// so PutWorkers in-flight puts keep it saturated, and a queued frame
+	// costs only its payload — far less than the seed's goroutine per
+	// frame (stack + per-call channel). The queue must never block the
+	// producer: the producer is, transitively, the source MB's read
+	// loop, which also delivers the put ACKs the workers wait on.
+	// Backpressuring it deadlocks opposite-direction moves between the
+	// same MB pair (each read loop stuck on the other move's chunks,
+	// the ACKs queued behind them undeliverable). The pool spawns on
+	// the first frame, all workers at once — a move that exports
+	// nothing pays for no goroutines, and spawning per frame measurably
+	// delays pipeline fill-up. The shards=1 ablation reproduces the
+	// seed's unbounded goroutine-per-frame fan-out instead.
+	serialized := c.serialized()
 	var putWG sync.WaitGroup
-	errCh := make(chan error, 64)
+	var queue *putQueue
+	var poolOnce sync.Once
+	enqueue := func(j putJob) {
+		poolOnce.Do(func() {
+			putWG.Add(c.opts.PutWorkers)
+			for i := 0; i < c.opts.PutWorkers; i++ {
+				go func() {
+					defer putWG.Done()
+					for {
+						j, ok := queue.pop()
+						if !ok {
+							return
+						}
+						doPut(j)
+					}
+				}()
+			}
+		})
+		queue.push(j)
+	}
+	if !serialized {
+		queue = newPutQueue()
+	}
 
 	// One get per state class; the read loop registers each streamed
 	// chunk (so events start buffering), then the chunks are put to the
@@ -304,32 +233,20 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 			})
 			c.chunksMoved.Add(uint64(len(keys)))
 			c.bytesMoved.Add(bytes)
-			putWG.Add(1)
-			go func() {
-				defer putWG.Done()
-				put := &sbi.Message{
-					Type: sbi.MsgRequest, Op: putOp,
-					Chunk: chunk.Chunk, Chunks: chunk.Chunks,
-					Compressed: chunk.Compressed,
-				}
-				_, perr := dst.call(put, c.opts.CallTimeout)
-				if perr != nil {
-					select {
-					case errCh <- perr:
-					default:
-					}
-				}
-				for _, key := range keys {
-					t.ackPut(key)
-				}
-			}()
+			j := putJob{op: putOp, frame: chunk, keys: keys}
+			if serialized {
+				putWG.Add(1)
+				go func() {
+					defer putWG.Done()
+					doPut(j)
+				}()
+				return nil
+			}
+			enqueue(j)
 			return nil
 		})
 		if err != nil {
-			select {
-			case errCh <- err:
-			default:
-			}
+			fail(err)
 		}
 	}
 
@@ -338,6 +255,9 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 	go func() { defer getWG.Done(); movePair(sbi.OpGetSupportPerflow, sbi.OpPutSupportPerflow) }()
 	go func() { defer getWG.Done(); movePair(sbi.OpGetReportPerflow, sbi.OpPutReportPerflow) }()
 	getWG.Wait()
+	if !serialized {
+		queue.close()
+	}
 	putWG.Wait()
 
 	select {
@@ -350,16 +270,11 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 	// Background completion: wait for event quiescence, then delete the
 	// moved state at the source (which also clears its transaction
 	// marks), and detach the event routing.
-	c.txnWG.Add(1)
-	go func() {
-		defer c.txnWG.Done()
-		for !t.quietSince(c.opts.QuietPeriod) {
-			time.Sleep(c.opts.QuietPeriod / 5)
-		}
+	c.finishAfterQuiet(t, func() {
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelSupportPerflow, Match: m}, c.opts.CallTimeout)
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelReportPerflow, Match: m}, c.opts.CallTimeout)
 		t.detach()
-	}()
+	})
 	return nil
 }
 
@@ -417,14 +332,9 @@ func (c *Controller) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op
 	}
 	// Background completion: after quiescence, end the transaction at the
 	// source so it stops raising events; state is left in place.
-	c.txnWG.Add(1)
-	go func() {
-		defer c.txnWG.Done()
-		for !t.quietSince(c.opts.QuietPeriod) {
-			time.Sleep(c.opts.QuietPeriod / 5)
-		}
+	c.finishAfterQuiet(t, func() {
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpEndTransaction, Enable: true}, c.opts.CallTimeout)
 		t.detach()
-	}()
+	})
 	return nil
 }

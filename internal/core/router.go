@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sync"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// This file implements the sharded transaction router: the controller-global
+// structure that connects reprocess events raised by a source middlebox to
+// the transaction that owns the state they touched. The seed kept this state
+// as two maps behind a single per-MB mutex; every event route, chunk
+// registration, and put acknowledgment serialized on it. The router
+// partitions the key space into N power-of-two shards by FlowKey.FastHash(),
+// each with its own mutex, so those operations only ever take one shard lock.
+//
+// FastHash is symmetric — k and k.Reverse() hash equal — so both directions
+// of a connection land in the same shard. That property is load-bearing: a
+// middlebox may raise events keyed by either direction of a flow it exported
+// under the canonical key, and a single shard lock must cover the whole
+// conversation for the buffer-until-ACK ordering argument (§4.2.1) to stay a
+// one-lock argument.
+
+// maxOrphansPerKey bounds reprocess events held per unregistered key, so
+// stragglers from completed transactions cannot accumulate.
+const maxOrphansPerKey = 256
+
+// routeKey names one flow key on one source middlebox. Routing state is
+// controller-global, so entries are qualified by the source connection:
+// different MBs routinely hold state for identical flow keys (e.g. replicas
+// fed the same trace).
+type routeKey struct {
+	mb  *mbConn
+	key packet.FlowKey
+}
+
+// keyState is a shard's record for one in-transaction flow key: the owning
+// transaction, how many of its puts are unacknowledged, and the events
+// buffered until those puts are ACKed.
+type keyState struct {
+	owner    *txn
+	pending  int
+	buffered []*sbi.Event
+	// flushing marks an in-progress ordered drain of buffered: the
+	// draining goroutine releases the shard lock around each forward
+	// batch, and events arriving meanwhile append to buffered (rather
+	// than being forwarded directly), so the destination always sees
+	// events for a key in arrival order.
+	flushing bool
+}
+
+// routerShard owns one slice of the key space.
+type routerShard struct {
+	mu   sync.Mutex
+	keys map[routeKey]*keyState
+	// orphans holds reprocess events that arrived before the chunk that
+	// registers their key: a packet processed between a chunk's snapshot
+	// and the chunk's transmission puts its event ahead of the chunk on
+	// the wire. The registering transaction adopts them.
+	orphans map[routeKey][]*sbi.Event
+}
+
+// txnRouter shards transaction routing by FlowKey.FastHash(). Shard count is
+// a power of two so the hash maps to a shard with a mask.
+type txnRouter struct {
+	shards []routerShard
+	mask   uint64
+}
+
+func newTxnRouter(shards int) *txnRouter {
+	r := &txnRouter{shards: make([]routerShard, shards), mask: uint64(shards - 1)}
+	for i := range r.shards {
+		r.shards[i].keys = map[routeKey]*keyState{}
+		r.shards[i].orphans = map[routeKey][]*sbi.Event{}
+	}
+	return r
+}
+
+func (r *txnRouter) shard(key packet.FlowKey) *routerShard {
+	// FNV's low bits disperse poorly under a power-of-two mask (similar
+	// flows differ in few input bytes), so finish with a splitmix-style
+	// avalanche. It is a pure function of FastHash, so the symmetry
+	// property (k and k.Reverse() share a shard) is preserved.
+	h := key.FastHash()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &r.shards[h&r.mask]
+}
+
+// register records t as the owner of key on t.src with one more outstanding
+// put, and adopts any orphaned events that raced ahead of the chunk. Called
+// from the source's read loop, before the chunk is delivered to the move
+// consumer, so event routing can never miss the registration.
+func (r *txnRouter) register(t *txn, key packet.FlowKey) {
+	rk := routeKey{mb: t.src, key: key}
+	sh := r.shard(key)
+	var evicted []*sbi.Event
+	var evictedDst *mbConn
+	sh.mu.Lock()
+	ks := sh.keys[rk]
+	if ks == nil || ks.owner != t {
+		if ks != nil {
+			// A newer transaction claims a key an older one never
+			// released (overlapping moves from the same source).
+			// Hand the old owner its outstanding put count and
+			// buffer, so its remaining ACKs still release its
+			// events toward its own destination — the seed's
+			// per-txn buffers survived routing overwrites the same
+			// way. If nothing is outstanding, the buffer is due
+			// immediately.
+			evicted, evictedDst = ks.owner.adoptStale(key, ks), ks.owner.dst
+		}
+		ks = &keyState{owner: t}
+		sh.keys[rk] = ks
+	}
+	ks.pending++
+	if adopted := sh.orphans[rk]; len(adopted) > 0 {
+		delete(sh.orphans, rk)
+		ks.buffered = append(ks.buffered, adopted...)
+		t.ctrl.eventsBuffered.Add(uint64(len(adopted)))
+	}
+	sh.mu.Unlock()
+	forwardEvents(t.ctrl, evictedDst, evicted)
+	t.noteKey(key)
+}
+
+// ackPut marks one put for key acknowledged and, once no puts remain
+// outstanding, drains the buffered events in order. If t no longer owns the
+// key (a newer transaction claimed it), the ACK releases t's stale buffer
+// instead.
+func (r *txnRouter) ackPut(t *txn, key packet.FlowKey) {
+	rk := routeKey{mb: t.src, key: key}
+	sh := r.shard(key)
+	sh.mu.Lock()
+	ks := sh.keys[rk]
+	if ks == nil || ks.owner != t {
+		sh.mu.Unlock()
+		t.ackStale(key)
+		return
+	}
+	ks.pending--
+	if ks.pending > 0 || ks.flushing || len(ks.buffered) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	// Ordered drain: forward without the lock, but keep the key in
+	// "flushing" state so concurrent events append behind the batch in
+	// flight instead of overtaking it. Stop if a new registration raises
+	// the pending count mid-drain.
+	ks.flushing = true
+	for ks.pending <= 0 && len(ks.buffered) > 0 {
+		flush := ks.buffered
+		ks.buffered = nil
+		sh.mu.Unlock()
+		forwardEvents(t.ctrl, t.dst, flush)
+		sh.mu.Lock()
+	}
+	ks.flushing = false
+	sh.mu.Unlock()
+}
+
+// route dispatches one reprocess event from src: buffer while the key's puts
+// are outstanding, forward (in order) otherwise, or hold as an orphan when
+// the registering chunk has not arrived yet. Shared-state events bypass the
+// shards entirely — at most one clone/merge owns a source's shared state, so
+// a per-MB atomic pointer suffices.
+func (r *txnRouter) route(src *mbConn, ev *sbi.Event) {
+	if ev.Shared {
+		if t := src.sharedTxn.Load(); t != nil {
+			t.handleSharedEvent(ev)
+		}
+		return
+	}
+	rk := routeKey{mb: src, key: ev.Key}
+	sh := r.shard(ev.Key)
+	sh.mu.Lock()
+	ks := sh.keys[rk]
+	if ks == nil {
+		if ev.Kind == sbi.EventReprocess && len(sh.orphans[rk]) < maxOrphansPerKey {
+			sh.orphans[rk] = append(sh.orphans[rk], ev)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	t := ks.owner
+	t.touch()
+	if ks.pending > 0 || len(ks.buffered) > 0 || ks.flushing {
+		ks.buffered = append(ks.buffered, ev)
+		t.ctrl.eventsBuffered.Add(1)
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	forwardEvents(t.ctrl, t.dst, []*sbi.Event{ev})
+}
+
+// detach removes every routing entry t owns, touching only the shards its
+// keys hash to. When the source MB has no other live transactions, its
+// orphaned events are discarded — stragglers from the finished transactions
+// that nothing will ever adopt.
+func (r *txnRouter) detach(t *txn) {
+	for _, key := range t.takeKeys() {
+		rk := routeKey{mb: t.src, key: key}
+		sh := r.shard(key)
+		sh.mu.Lock()
+		if ks := sh.keys[rk]; ks != nil && ks.owner == t {
+			delete(sh.keys, rk)
+		}
+		sh.mu.Unlock()
+	}
+	t.src.sharedTxn.CompareAndSwap(t, nil)
+	if t.src.liveTxns.Add(-1) == 0 {
+		r.purgeOrphans(t.src)
+	}
+}
+
+// purgeOrphans discards every orphaned event held for mb.
+func (r *txnRouter) purgeOrphans(mb *mbConn) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for rk := range sh.orphans {
+			if rk.mb == mb {
+				delete(sh.orphans, rk)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// purgeMB drops all routing state for a disconnected middlebox so entries
+// cannot leak past the connection's lifetime.
+func (r *txnRouter) purgeMB(mb *mbConn) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for rk := range sh.keys {
+			if rk.mb == mb {
+				delete(sh.keys, rk)
+			}
+		}
+		for rk := range sh.orphans {
+			if rk.mb == mb {
+				delete(sh.orphans, rk)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// forwardEvents sends reprocess events to dst in order. Never called with a
+// shard lock held.
+func forwardEvents(c *Controller, dst *mbConn, evs []*sbi.Event) {
+	for _, ev := range evs {
+		c.eventsForwarded.Add(1)
+		_ = dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
+	}
+}
+
+// routeEvent dispatches an MB-raised event: introspection events go to
+// subscribers; reprocess events go to the sharded transaction router.
+func (c *Controller) routeEvent(src *mbConn, ev *sbi.Event) {
+	if ev == nil {
+		return
+	}
+	if ev.Kind == sbi.EventIntrospection {
+		c.introMu.Lock()
+		subs := append([]func(string, *sbi.Event){}, c.introSubs...)
+		c.introMu.Unlock()
+		for _, fn := range subs {
+			fn(src.name, ev)
+		}
+		return
+	}
+	c.router.route(src, ev)
+}

@@ -1,0 +1,357 @@
+package core
+
+// White-box tests for the sharded transaction router and the completer:
+// shard selection (power-of-two rounding, FastHash symmetry), orphan
+// adoption when events beat their registering chunk, ownership guards when
+// transactions overlap on a key, detach cleanup, and quiescence-driven
+// completion. End-to-end behaviour (moves under traffic, shards=1 vs
+// shards=N equivalence) is covered in core_test and fastpath_test.
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// testPeer is one side of an in-process southbound connection: the mbConn
+// the router forwards through, plus a reader draining the middlebox side
+// (net.Pipe is synchronous, so forwards block until read).
+type testPeer struct {
+	mb   *mbConn
+	recv chan *sbi.Message
+}
+
+func newTestPeer(t *testing.T, c *Controller, name string) *testPeer {
+	p, release := newHeldTestPeer(t, c, name)
+	release()
+	return p
+}
+
+// newHeldTestPeer returns a peer whose reader does not start until release
+// is called — sends toward it block (net.Pipe is synchronous), which lets
+// tests freeze an ordered drain mid-forward.
+func newHeldTestPeer(t *testing.T, c *Controller, name string) (*testPeer, func()) {
+	t.Helper()
+	ctrlSide, mbSide := net.Pipe()
+	p := &testPeer{
+		mb:   &mbConn{name: name, conn: sbi.NewConn(ctrlSide), ctrl: c, pending: map[uint64]*call{}},
+		recv: make(chan *sbi.Message, 256),
+	}
+	peer := sbi.NewConn(mbSide)
+	hold := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-hold
+		for {
+			m, err := peer.Receive()
+			if err != nil {
+				close(p.recv)
+				return
+			}
+			p.recv <- m
+		}
+	}()
+	release := func() { once.Do(func() { close(hold) }) }
+	t.Cleanup(func() { release(); p.mb.conn.Close(); peer.Close() })
+	return p, release
+}
+
+func (p *testPeer) expectReprocess(t *testing.T, key packet.FlowKey) {
+	t.Helper()
+	select {
+	case m := <-p.recv:
+		if m.Op != sbi.OpReprocess || m.Event == nil || m.Event.Key != key {
+			t.Fatalf("forwarded frame: %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("no reprocess forwarded for %v", key)
+	}
+}
+
+func (p *testPeer) expectNothing(t *testing.T) {
+	t.Helper()
+	select {
+	case m := <-p.recv:
+		t.Fatalf("unexpected forward: %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func key(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: ipv4(10, 0, byte(i>>8), byte(i)), DstIP: ipv4(192, 168, 1, 1),
+		Proto: packet.ProtoTCP, SrcPort: uint16(1000 + i), DstPort: 80,
+	}
+}
+
+func reprocessEvent(k packet.FlowKey) *sbi.Event {
+	return &sbi.Event{Kind: sbi.EventReprocess, Key: k}
+}
+
+func TestShardDefaultsAndRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {100, 128}, {maxShards + 1, maxShards},
+	} {
+		o := Options{Shards: tc.in}
+		o.setDefaults()
+		if o.Shards != tc.want {
+			t.Errorf("Shards %d resolved to %d, want %d", tc.in, o.Shards, tc.want)
+		}
+	}
+	for _, in := range []int{0, -4} {
+		auto := Options{Shards: in}
+		auto.setDefaults()
+		if auto.Shards < 2 || auto.Shards&(auto.Shards-1) != 0 {
+			t.Errorf("Shards %d resolved to %d, want the auto default (power of two >= 2)", in, auto.Shards)
+		}
+	}
+}
+
+// TestShardSymmetry: FastHash is symmetric, so both directions of a flow
+// must resolve to the same shard — the property the per-shard ordering
+// argument relies on.
+func TestShardSymmetry(t *testing.T) {
+	r := newTxnRouter(16)
+	spread := map[*routerShard]bool{}
+	for i := 0; i < 64; i++ {
+		k := key(i)
+		if r.shard(k) != r.shard(k.Reverse()) {
+			t.Fatalf("key %v and its reverse land in different shards", k)
+		}
+		spread[r.shard(k)] = true
+	}
+	if len(spread) < 12 {
+		t.Fatalf("64 distinct flows hit only %d/16 shards", len(spread))
+	}
+}
+
+// TestOrphanAdoptionAcrossShards: events that beat their registering chunk
+// are held per shard and adopted at registration, then released only when
+// the key's put is acknowledged.
+func TestOrphanAdoptionAcrossShards(t *testing.T) {
+	c := NewController(Options{Shards: 8, QuietPeriod: 50 * time.Millisecond})
+	src := newTestPeer(t, c, "src")
+	dst := newTestPeer(t, c, "dst")
+	tx := newTxn(c, src.mb, dst.mb)
+
+	// Enough keys to span several shards.
+	keys := make([]packet.FlowKey, 32)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	for _, k := range keys {
+		c.router.route(src.mb, reprocessEvent(k)) // beats its chunk: orphaned
+	}
+	dst.expectNothing(t)
+	for _, k := range keys {
+		tx.registerChunk(k) // adopts the orphan
+	}
+	dst.expectNothing(t) // still buffered: put outstanding
+	for _, k := range keys {
+		tx.ackPut(k)
+		dst.expectReprocess(t, k)
+	}
+	if got := c.Metrics().EventsBuffered; got != uint64(len(keys)) {
+		t.Fatalf("EventsBuffered = %d, want %d", got, len(keys))
+	}
+	tx.detach()
+}
+
+// TestOrphansAreBounded: stragglers for a never-registered key stop
+// accumulating at maxOrphansPerKey.
+func TestOrphansAreBounded(t *testing.T) {
+	c := NewController(Options{Shards: 2})
+	src := newTestPeer(t, c, "src")
+	k := key(7)
+	for i := 0; i < maxOrphansPerKey+100; i++ {
+		c.router.route(src.mb, reprocessEvent(k))
+	}
+	sh := c.router.shard(k)
+	sh.mu.Lock()
+	n := len(sh.orphans[routeKey{mb: src.mb, key: k}])
+	sh.mu.Unlock()
+	if n != maxOrphansPerKey {
+		t.Fatalf("orphans held = %d, want %d", n, maxOrphansPerKey)
+	}
+}
+
+// TestOverlappingTxnOwnership: when a newer transaction claims a key an
+// older one registered, the old transaction keeps its outstanding put count
+// and buffer as stale state — its own ACK (not the new owner's) releases
+// its events toward its own destination, and it must never release the new
+// owner's buffer early.
+func TestOverlappingTxnOwnership(t *testing.T) {
+	c := NewController(Options{Shards: 4})
+	src := newTestPeer(t, c, "src")
+	dst1 := newTestPeer(t, c, "dst1")
+	dst2 := newTestPeer(t, c, "dst2")
+	k := key(3)
+
+	t1 := newTxn(c, src.mb, dst1.mb)
+	t1.registerChunk(k)
+	c.router.route(src.mb, reprocessEvent(k)) // buffered against t1's put
+
+	t2 := newTxn(c, src.mb, dst2.mb)
+	t2.registerChunk(k) // takes over routing; t1's buffer goes stale
+	dst1.expectNothing(t)
+
+	c.router.route(src.mb, reprocessEvent(k)) // buffered against t2's put
+	t1.ackPut(k)                              // releases t1's stale buffer, not t2's
+	dst1.expectReprocess(t, k)
+	dst2.expectNothing(t)
+	t2.ackPut(k)
+	dst2.expectReprocess(t, k)
+	t1.detach()
+	t2.detach()
+}
+
+// TestEvictionDuringDrain: a new transaction claiming a key while the old
+// owner's ordered drain is blocked mid-forward must not forward concurrently
+// with the drain — the drain delivers the remainder in order, and later
+// events belong to the new owner only.
+func TestEvictionDuringDrain(t *testing.T) {
+	c := NewController(Options{Shards: 4})
+	src := newTestPeer(t, c, "src")
+	dst1, release1 := newHeldTestPeer(t, c, "dst1")
+	dst2 := newTestPeer(t, c, "dst2")
+	k := key(5)
+
+	t1 := newTxn(c, src.mb, dst1.mb)
+	t1.registerChunk(k)
+	ev := func(seq uint64) *sbi.Event {
+		return &sbi.Event{Kind: sbi.EventReprocess, Key: k, Seq: seq}
+	}
+	c.router.route(src.mb, ev(1))
+	c.router.route(src.mb, ev(2))
+
+	// The ACK starts the drain, which blocks sending toward the held
+	// dst1. Run it on its own goroutine and wait until the drain has
+	// marked the key as flushing (set under the shard lock before the
+	// first forward), so the next event deterministically lands mid-drain.
+	drainDone := make(chan struct{})
+	go func() { t1.ackPut(k); close(drainDone) }()
+	sh := c.router.shard(k)
+	rk := routeKey{mb: src.mb, key: k}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		sh.mu.Lock()
+		flushing := sh.keys[rk] != nil && sh.keys[rk].flushing
+		sh.mu.Unlock()
+		if flushing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.router.route(src.mb, ev(3)) // arrives mid-drain: must queue behind 1,2
+
+	t2 := newTxn(c, src.mb, dst2.mb)
+	t2.registerChunk(k) // eviction while t1's drain is frozen
+	c.router.route(src.mb, ev(4))
+
+	release1()
+	<-drainDone
+	for want := uint64(1); want <= 3; want++ {
+		select {
+		case m := <-dst1.recv:
+			if m.Event == nil || m.Event.Seq != want {
+				t.Fatalf("dst1 received %+v, want seq %d", m, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("dst1 missing event seq %d", want)
+		}
+	}
+	dst2.expectNothing(t) // seq 4 buffered against t2's put
+	t2.ackPut(k)
+	select {
+	case m := <-dst2.recv:
+		if m.Event == nil || m.Event.Seq != 4 {
+			t.Fatalf("dst2 received %+v, want seq 4", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dst2 missing event seq 4")
+	}
+	dst1.expectNothing(t)
+	t1.detach()
+	t2.detach()
+}
+
+// TestDetachPurges: detach removes only the transaction's own entries, and
+// the last detach on a source discards its orphans.
+func TestDetachPurges(t *testing.T) {
+	c := NewController(Options{Shards: 4})
+	src := newTestPeer(t, c, "src")
+	dst := newTestPeer(t, c, "dst")
+	tx := newTxn(c, src.mb, dst.mb)
+	for i := 0; i < 16; i++ {
+		tx.registerChunk(key(i))
+	}
+	c.router.route(src.mb, reprocessEvent(key(99))) // unregistered: orphaned
+	tx.detach()
+	tx.detach() // idempotent
+	for i := range c.router.shards {
+		sh := &c.router.shards[i]
+		sh.mu.Lock()
+		nk, no := len(sh.keys), len(sh.orphans)
+		sh.mu.Unlock()
+		if nk != 0 || no != 0 {
+			t.Fatalf("shard %d not purged: keys=%d orphans=%d", i, nk, no)
+		}
+	}
+}
+
+// TestCompleterWaitsForQuiescence: a completion fires only after the full
+// quiet period, and source activity observed meanwhile pushes it out.
+func TestCompleterWaitsForQuiescence(t *testing.T) {
+	const quiet = 80 * time.Millisecond
+	c := NewController(Options{Shards: 2, QuietPeriod: quiet})
+	src := newTestPeer(t, c, "src")
+	dst := newTestPeer(t, c, "dst")
+	tx := newTxn(c, src.mb, dst.mb)
+
+	start := time.Now()
+	done := make(chan time.Duration, 1)
+	c.finishAfterQuiet(tx, func() {
+		done <- time.Since(start)
+		tx.detach()
+	})
+	time.Sleep(quiet / 2)
+	tx.touch() // activity: completion must restart its quiet window
+	touched := time.Since(start)
+	select {
+	case elapsed := <-done:
+		if elapsed < touched+quiet-5*time.Millisecond {
+			t.Fatalf("completed %v after start despite activity at %v (quiet %v)", elapsed, touched, quiet)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("completion never fired")
+	}
+	if !c.WaitTxns(2 * time.Second) {
+		t.Fatal("WaitTxns did not observe the completion")
+	}
+}
+
+// TestCompleterCloseFlushes: closing the controller dispatches pending
+// completions immediately instead of leaking them.
+func TestCompleterCloseFlushes(t *testing.T) {
+	c := NewController(Options{Shards: 2, QuietPeriod: time.Hour})
+	src := newTestPeer(t, c, "src")
+	dst := newTestPeer(t, c, "dst")
+	tx := newTxn(c, src.mb, dst.mb)
+	done := make(chan struct{})
+	c.finishAfterQuiet(tx, func() { close(done); tx.detach() })
+	c.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending completion not dispatched at Close")
+	}
+}
+
+func ipv4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }

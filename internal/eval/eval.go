@@ -23,15 +23,20 @@ import (
 // Codec re-exports sbi.Codec for flag plumbing in cmd/openmb-bench.
 type Codec = sbi.Codec
 
-// Transfer tuning: which SBI codec and chunk batch size every experiment rig
-// uses. Defaults are the paper-faithful JSON codec and one chunk per frame;
-// cmd/openmb-bench overrides them from -codec/-batch flags, and the
-// OPENMB_CODEC / OPENMB_BATCH environment variables tune `go test -bench`
-// runs without touching the benchmark table (so before/after sweeps compare
-// identical experiments).
+// Transfer tuning: which SBI codec, chunk batch size, and controller shard
+// count every experiment rig uses. Defaults are the binary codec (the SBI
+// default since the hello negotiation shipped; OPENMB_CODEC=json restores
+// the paper-faithful framing), one chunk per frame, and automatic router
+// sharding. cmd/openmb-bench overrides them from -codec/-batch/-shards
+// flags, and the OPENMB_CODEC / OPENMB_BATCH / OPENMB_SHARDS environment
+// variables tune `go test -bench` runs without touching the benchmark table
+// (so before/after sweeps compare identical experiments).
 var (
-	transferCodec = sbi.CodecJSON
+	transferCodec = sbi.CodecBinary
 	transferBatch = 1
+	// transferShards is the controller router shard count: 0 selects the
+	// controller's GOMAXPROCS-derived default, 1 the serialized ablation.
+	transferShards = 0
 )
 
 func init() {
@@ -51,6 +56,13 @@ func init() {
 		}
 		transferBatch = n
 	}
+	if env := os.Getenv("OPENMB_SHARDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 0 {
+			panic("eval: OPENMB_SHARDS: want a non-negative integer, got " + strconv.Quote(env))
+		}
+		transferShards = n
+	}
 }
 
 // SetTransferTuning sets the codec and batch size used by every experiment's
@@ -69,6 +81,19 @@ func SetTransferTuning(codec sbi.Codec, batch int) error {
 
 // TransferTuning reports the active codec and batch size.
 func TransferTuning() (sbi.Codec, int) { return transferCodec, transferBatch }
+
+// SetShards sets the controller router shard count every experiment rig uses:
+// 0 means the controller's automatic default, 1 the serialized ablation.
+func SetShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("eval: shards must be >= 0, got %d", n)
+	}
+	transferShards = n
+	return nil
+}
+
+// Shards reports the active router shard setting (0 = automatic).
+func Shards() int { return transferShards }
 
 // Table is one experiment's output.
 type Table struct {
@@ -147,6 +172,9 @@ type rig struct {
 func newRig(opts core.Options) (*rig, error) {
 	if opts.BatchSize == 0 {
 		opts.BatchSize = transferBatch
+	}
+	if opts.Shards == 0 {
+		opts.Shards = transferShards
 	}
 	r := &rig{ctrl: core.NewController(opts), tr: sbi.NewMemTransport()}
 	if err := r.ctrl.Serve(r.tr, "ctrl"); err != nil {

@@ -80,24 +80,21 @@ func measureGetPut(srcLogic, dstLogic mbox.Logic, class state.Class) (getTime, p
 
 	start = time.Now()
 	// Pipelined puts, batched per the transfer tuning: issue all frames,
-	// then await all ACKs (Figure 5's stream).
+	// then await all ACKs (Figure 5's stream). Framing reuses the same
+	// sbi helper the controller's move pipeline is built on, so the
+	// harness measures the production batching rather than a copy of it.
 	var ids []uint64
-	for lo := 0; lo < len(collected); lo += transferBatch {
-		hi := lo + transferBatch
-		if hi > len(collected) {
-			hi = len(collected)
-		}
+	if err := sbi.FrameChunks(collected, transferBatch, func(frame []state.Chunk) error {
 		put := &sbi.Message{Type: sbi.MsgRequest, Op: putOp}
-		if transferBatch == 1 {
-			put.Chunk = &collected[lo]
-		} else {
-			put.Chunks = collected[lo:hi]
-		}
+		put.SetChunks(frame)
 		pid, err := dst.request(put)
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
 		ids = append(ids, pid)
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
 	}
 	acked := map[uint64]bool{}
 	deadline := time.After(120 * time.Second)
@@ -387,13 +384,20 @@ func timeMove(n, eventRate int) (time.Duration, error) {
 
 // Figure10bConfig parameterizes the concurrent-move measurement.
 type Figure10bConfig struct {
-	Concurrency []int // default {1, 2, 4, 8, 16, 20}
+	Concurrency []int // default {1, 2, 4, 8, 16, 32, 64}
 	ChunkCounts []int // default {1000, 2000, 3000}
+	// Shards sets the controller's transaction-router shard count for the
+	// sweep: 0 (the default) uses the active transfer tuning (OPENMB_SHARDS
+	// or -shards, else the controller's GOMAXPROCS-derived default), and 1
+	// is the serialized ablation that reproduces the seed's single-lock
+	// transaction path — run both to see what sharding buys at high
+	// concurrency.
+	Shards int
 }
 
 func (c *Figure10bConfig) setDefaults() {
 	if len(c.Concurrency) == 0 {
-		c.Concurrency = []int{1, 2, 4, 8, 16, 20}
+		c.Concurrency = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	if len(c.ChunkCounts) == 0 {
 		c.ChunkCounts = []int{1000, 2000, 3000}
@@ -402,41 +406,48 @@ func (c *Figure10bConfig) setDefaults() {
 
 // Figure10bConcurrentMoves reproduces Figure 10(b): average time per move
 // versus the number of simultaneous moves, for several chunk counts.
-// Expected shape: average move time grows with both concurrency and state.
+// Expected shape: average move time grows with both concurrency and state;
+// with the sharded transaction router the growth stays near-linear where the
+// serialized (shards=1) baseline degrades super-linearly.
 func Figure10bConcurrentMoves(cfg Figure10bConfig) (*Table, error) {
 	cfg.setDefaults()
 	t := &Table{
 		ID:      "F10b",
 		Title:   "controller: avg time per moveInternal vs simultaneous moves",
-		Columns: []string{"simultaneous", "chunks", "avg_move"},
+		Columns: []string{"simultaneous", "chunks", "shards", "avg_move"},
 	}
 	for _, chunks := range cfg.ChunkCounts {
 		for _, k := range cfg.Concurrency {
-			avg, err := timeConcurrentMoves(k, chunks)
+			avg, shards, err := timeConcurrentMoves(k, chunks, cfg.Shards)
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(k, chunks, avg)
+			t.AddRow(k, chunks, shards, avg)
 		}
 	}
-	t.Notes = append(t.Notes, "paper: avg move time increases linearly with simultaneous operations and chunk count")
+	t.Notes = append(t.Notes,
+		"paper: avg move time increases linearly with simultaneous operations and chunk count",
+		"shards=1 is the serialized ablation (seed transaction path); compare against the sharded default")
 	return t, nil
 }
 
-func timeConcurrentMoves(pairs, chunks int) (time.Duration, error) {
-	r, err := newRig(core.Options{QuietPeriod: 50 * time.Millisecond})
+// timeConcurrentMoves runs `pairs` simultaneous moves of `chunks` chunks each
+// and returns the average move latency plus the controller's resolved shard
+// count.
+func timeConcurrentMoves(pairs, chunks, shards int) (time.Duration, int, error) {
+	r, err := newRig(core.Options{QuietPeriod: 50 * time.Millisecond, Shards: shards})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer r.close()
 	for i := 0; i < pairs; i++ {
 		src := mbtest.NewCounterLogic(202)
 		src.Preload(chunks)
 		if _, err := r.add(fmt.Sprintf("src%d", i), src); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if _, err := r.add(fmt.Sprintf("dst%d", i), mbtest.NewCounterLogic(202)); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	var wg sync.WaitGroup
@@ -454,7 +465,7 @@ func timeConcurrentMoves(pairs, chunks int) (time.Duration, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	r.ctrl.WaitTxns(120 * time.Second)
@@ -462,7 +473,7 @@ func timeConcurrentMoves(pairs, chunks int) (time.Duration, error) {
 	for _, d := range times {
 		sum += d
 	}
-	return sum / time.Duration(pairs), nil
+	return sum / time.Duration(pairs), r.ctrl.Shards(), nil
 }
 
 // SnapshotComparison reproduces the §8.1.2 snapshot experiment: image-size

@@ -57,6 +57,11 @@ func newHarness(t *testing.T, logic mbox.Logic) *harness {
 	if hello.Type != sbi.MsgHello || hello.Name != "mb1" || hello.Kind != logic.Kind() {
 		t.Fatalf("hello: %+v", hello)
 	}
+	// Honor the codec announcement as a real controller would (the
+	// runtime defaults to the binary fast path).
+	if err := ctrl.Upgrade(hello.Codec); err != nil {
+		t.Fatal(err)
+	}
 	h := &harness{rt: rt, ctrl: ctrl, events: make(chan *sbi.Message, 1024), replies: make(chan *sbi.Message, 1024)}
 	go func() {
 		for {

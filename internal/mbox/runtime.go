@@ -22,9 +22,11 @@ type Options struct {
 	// Typically wired to a netsim port. Nil counts but discards.
 	Forward func(p *packet.Packet)
 	// Codec selects the southbound wire codec, announced in the hello
-	// frame (which itself is always JSON). Empty or sbi.CodecJSON keeps
-	// the paper's newline-delimited JSON; sbi.CodecBinary switches both
-	// directions to the length-prefixed binary fast path.
+	// frame (which itself is always JSON, so any controller can read the
+	// announcement). Empty selects sbi.CodecBinary, the length-prefixed
+	// binary fast path — the default now that both sides negotiate at
+	// hello. sbi.CodecJSON keeps the paper's newline-delimited JSON, the
+	// compatibility and debugging path.
 	Codec sbi.Codec
 }
 
@@ -100,6 +102,9 @@ func New(name string, logic Logic, opts Options) *Runtime {
 	}
 	if opts.QueueSize == 0 {
 		opts.QueueSize = 8192
+	}
+	if opts.Codec == "" {
+		opts.Codec = sbi.CodecBinary
 	}
 	rt := &Runtime{
 		name:        name,

@@ -185,11 +185,7 @@ func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 			return nil
 		}
 		out := &sbi.Message{Type: sbi.MsgChunk, ID: m.ID, Compressed: m.Compressed}
-		if batch == 1 {
-			out.Chunk = &pending[0]
-		} else {
-			out.Chunks = pending
-		}
+		out.SetChunks(pending)
 		pending = nil
 		return conn.Send(out)
 	}

@@ -18,16 +18,22 @@ type Codec string
 
 // Supported codecs.
 const (
-	// CodecJSON is the paper-faithful default: newline-delimited JSON with
-	// base64 blobs, debuggable with a terminal.
+	// CodecJSON is the paper-faithful compatibility and debug codec:
+	// newline-delimited JSON with base64 blobs, readable with a terminal.
+	// It is also what an empty codec announcement in a hello means, so
+	// peers that predate the negotiation keep working.
 	CodecJSON Codec = "json"
-	// CodecBinary is the fast path: length-prefixed compact binary frames
+	// CodecBinary is the default: length-prefixed compact binary frames
 	// with raw (non-base64) blob and packet payloads and pooled encode
-	// buffers.
+	// buffers. Runtimes announce it at hello unless configured otherwise
+	// (mbox.Options.Codec).
 	CodecBinary Codec = "binary"
 )
 
-// ParseCodec validates a codec name ("" means JSON).
+// ParseCodec validates a codec name. "" means JSON: an absent announcement
+// on the wire has always meant the paper's JSON framing, and that meaning is
+// frozen for compatibility (the *default* for new runtimes is binary, chosen
+// at the mbox.Options layer, and announced explicitly).
 func ParseCodec(s string) (Codec, error) {
 	switch Codec(s) {
 	case "", CodecJSON:

@@ -2,10 +2,12 @@
 // the paper): the wire protocol middleboxes use to receive and export state
 // and to raise events toward the MB controller.
 //
-// Messages are newline-delimited JSON, as in the paper's prototype (which
-// exchanged JSON over UNIX sockets using JSON-C). Two transports are
-// provided: TCP for deployments (cmd/openmb-controller and cmd/openmb-mb)
-// and an in-memory pipe transport for deterministic tests and benchmarks.
+// Two codecs frame messages: length-prefixed binary (the default, announced
+// at hello) and newline-delimited JSON, the paper prototype's format (which
+// exchanged JSON over UNIX sockets using JSON-C), kept as the compatibility
+// and debug path — see docs/SBI.md. Two transports are provided: TCP for
+// deployments (cmd/openmb-controller and cmd/openmb-mb) and an in-memory
+// pipe transport for deterministic tests and benchmarks.
 package sbi
 
 import (
@@ -202,4 +204,37 @@ func (m *Message) EachChunk(fn func(c *state.Chunk)) {
 	for i := range m.Chunks {
 		fn(&m.Chunks[i])
 	}
+}
+
+// SetChunks stores the frame's chunk payload in the canonical wire
+// representation: exactly one chunk travels in the Chunk field (the paper's
+// one-chunk framing), several travel in the Chunks array. Every producer of
+// chunk frames — the middlebox get streamer, the controller's move
+// forwarding, and the eval harness's pipelined puts — uses this helper so
+// the single-versus-batched choice is made in one place.
+func (m *Message) SetChunks(chunks []state.Chunk) {
+	if len(chunks) == 1 {
+		m.Chunk, m.Chunks = &chunks[0], nil
+		return
+	}
+	m.Chunk, m.Chunks = nil, chunks
+}
+
+// FrameChunks splits chunks into frames of at most batch each (batch < 1
+// means 1, the paper's framing) and invokes fn per frame, stopping at the
+// first error. The final frame of a stream may be short.
+func FrameChunks(chunks []state.Chunk, batch int, fn func(frame []state.Chunk) error) error {
+	if batch < 1 {
+		batch = 1
+	}
+	for lo := 0; lo < len(chunks); lo += batch {
+		hi := lo + batch
+		if hi > len(chunks) {
+			hi = len(chunks)
+		}
+		if err := fn(chunks[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

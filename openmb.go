@@ -50,7 +50,7 @@ import (
 type Controller = core.Controller
 
 // ControllerOptions tunes the controller (quiet period, compression, chunk
-// batch size).
+// batch size, transaction-router shards, put pipeline depth).
 type ControllerOptions = core.Options
 
 // NewController creates an OpenMB controller.
@@ -89,14 +89,17 @@ func NewMemTransport() *MemTransport { return sbi.NewMemTransport() }
 // Codec names an SBI wire codec; see RuntimeOptions.Codec.
 type Codec = sbi.Codec
 
-// Supported SBI codecs: newline-delimited JSON (the paper prototype's
-// format, and the default) and the length-prefixed binary fast path.
+// Supported SBI codecs: the length-prefixed binary fast path (the default,
+// negotiated at hello) and newline-delimited JSON (the paper prototype's
+// format, kept as the compatibility and debug path).
 const (
 	CodecJSON   = sbi.CodecJSON
 	CodecBinary = sbi.CodecBinary
 )
 
-// ParseCodec validates a codec name ("" means JSON).
+// ParseCodec validates a codec name ("" means JSON, the frozen wire meaning
+// of an absent announcement; new runtimes default to binary at the
+// RuntimeOptions layer).
 func ParseCodec(s string) (Codec, error) { return sbi.ParseCodec(s) }
 
 // Event is a middlebox-raised notification (reprocess or introspection).
