@@ -14,7 +14,9 @@
 // transaction-router shard count: 0 (default) lets the controller derive it
 // from GOMAXPROCS, and 1 selects the serialized ablation that reproduces the
 // seed's single-lock transaction path — sweep f10b under both to measure
-// what sharding buys concurrent moves.
+// what sharding buys concurrent moves. -zerocopy selects the netsim data
+// path: pooled ring-buffer links (true) or the seed's copying channels and
+// per-event heap packets (false, the ablation).
 package main
 
 import (
@@ -26,18 +28,20 @@ import (
 	"time"
 
 	"openmb/internal/eval"
+	"openmb/internal/netsim"
 )
 
 func main() {
-	// Flag defaults inherit the OPENMB_CODEC/OPENMB_BATCH/OPENMB_SHARDS
-	// environment (binary/1/auto otherwise), so either mechanism tunes a
-	// run and explicit flags win.
+	// Flag defaults inherit the OPENMB_CODEC/OPENMB_BATCH/OPENMB_SHARDS/
+	// OPENMB_ZEROCOPY environment (binary/1/auto/off otherwise), so either
+	// mechanism tunes a run and explicit flags win.
 	envCodec, envBatch := eval.TransferTuning()
 	exp := flag.String("exp", "all", "experiments to run (comma-separated ids, or 'all')")
 	scale := flag.String("scale", "quick", "quick|full parameter scale")
 	codec := flag.String("codec", string(envCodec), "SBI wire codec for all experiments: binary (default) or json (compatibility)")
 	batch := flag.Int("batch", envBatch, "state chunks per SBI frame (1 = the paper's framing)")
 	shards := flag.Int("shards", eval.Shards(), "controller transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation)")
+	zerocopy := flag.Bool("zerocopy", netsim.ZeroCopyDefault(), "zero-copy netsim data path: pooled packets over ring-buffer links (false = copying ablation)")
 	flag.Parse()
 
 	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
@@ -46,7 +50,8 @@ func main() {
 	if err := eval.SetShards(*shards); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto)\n\n", *codec, *batch, *shards)
+	netsim.SetZeroCopyDefault(*zerocopy)
+	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto) zerocopy=%v\n\n", *codec, *batch, *shards, *zerocopy)
 
 	full := *scale == "full"
 	want := map[string]bool{}

@@ -51,9 +51,13 @@ func (h *HaltBuffer) HandlePacket(p *packet.Packet) {
 	}
 	fwd := h.forward
 	h.mu.Unlock()
-	if fwd != nil {
-		fwd(p)
+	if fwd == nil {
+		// No destination wired: the packet is dropped, and the borrowed
+		// reference released with it.
+		p.Release()
+		return
 	}
+	fwd(p)
 }
 
 // Halt starts buffering.
@@ -81,6 +85,10 @@ func (h *HaltBuffer) Release(forward func(p *packet.Packet)) (buffered int, adde
 		addedLatency += now.Sub(tp.at)
 		if fwd != nil {
 			fwd(tp.p)
+		} else {
+			// No destination: the buffered packets are dropped, and
+			// their borrowed references released with them.
+			tp.p.Release()
 		}
 	}
 	return len(queue), addedLatency

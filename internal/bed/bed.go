@@ -25,6 +25,12 @@ type Bed struct {
 	SDN  *sdn.Controller
 	Ctrl *core.Controller
 	TR   *sbi.MemTransport
+	// Pool is the bed's packet pool. On the zero-copy data path
+	// (netsim.Options.ZeroCopy / OPENMB_ZEROCOPY) InjectTrace draws every
+	// injected packet from it instead of sharing the trace's heap packets
+	// with the network; harness code injecting by hand may clone from it
+	// too.
+	Pool *packet.Pool
 
 	mbs map[string]*mbox.Runtime
 }
@@ -32,13 +38,22 @@ type Bed struct {
 // ctrlAddr is the in-memory controller address.
 const ctrlAddr = "openmb-controller"
 
-// New assembles an empty testbed with the given controller options.
+// New assembles an empty testbed with the given controller options and the
+// default netsim data path (zero-copy if OPENMB_ZEROCOPY turned it on).
 func New(opts core.Options) (*Bed, error) {
+	return NewWithNet(opts, netsim.Options{ZeroCopy: netsim.ZeroCopyDefault()})
+}
+
+// NewWithNet assembles an empty testbed with explicit network options. Pass
+// netsim.Options{ZeroCopy: true} for the pooled ring-buffer data path, false
+// for the copying ablation.
+func NewWithNet(opts core.Options, netOpts netsim.Options) (*Bed, error) {
 	b := &Bed{
-		Net:  netsim.New(),
+		Net:  netsim.NewWithOptions(netOpts),
 		SDN:  sdn.NewController(),
 		Ctrl: core.NewController(opts),
 		TR:   sbi.NewMemTransport(),
+		Pool: packet.NewPool(packet.PoolOptions{}),
 		mbs:  map[string]*mbox.Runtime{},
 	}
 	if err := b.Ctrl.Serve(b.TR, ctrlAddr); err != nil {
@@ -148,10 +163,20 @@ func timeoutRemaining(deadline time.Time) time.Duration {
 
 // InjectTrace replays packets into the network at an entry endpoint,
 // optionally pacing them (pace = delay between packets; 0 replays as fast
-// as possible).
+// as possible). On the zero-copy path each injected packet is drawn from the
+// bed's pool (a recycled clone of the trace packet), so the trace itself is
+// never mutated or retained by endpoints and steady-state replay allocates
+// nothing; on the copying path the trace's heap packets are injected
+// directly, as the seed did.
 func (b *Bed) InjectTrace(at string, pkts []*packet.Packet, pace time.Duration) error {
+	zero := b.Net.ZeroCopy()
 	for _, p := range pkts {
-		if err := b.Net.Inject(at, p); err != nil {
+		q := p
+		if zero {
+			q = b.Pool.Clone(p)
+		}
+		if err := b.Net.Inject(at, q); err != nil {
+			// Inject consumed q's reference even on error.
 			return fmt.Errorf("bed: inject: %w", err)
 		}
 		if pace > 0 {
@@ -161,11 +186,16 @@ func (b *Bed) InjectTrace(at string, pkts []*packet.Packet, pace time.Duration) 
 	return nil
 }
 
-// Close shuts down middleboxes, the controller, and the network.
+// Close shuts down the network, middleboxes, and the controller. The
+// network stops first and its in-flight deliveries are waited out, so every
+// packet a link pump will ever hand to a runtime has been enqueued before
+// the runtimes drain — otherwise a delivery racing a runtime's close could
+// strand a borrowed pooled packet unreleased.
 func (b *Bed) Close() {
+	b.Net.Stop()
+	b.Net.Quiesce(5 * time.Second)
 	for _, rt := range b.mbs {
 		rt.Close()
 	}
 	b.Ctrl.Close()
-	b.Net.Stop()
 }

@@ -407,6 +407,9 @@ type mbConn struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]*call
+	// chanFree recycles reply channels for this connection's calls; see
+	// getCallChanLocked.
+	chanFree []chan *sbi.Message
 
 	// sharedTxn is the transaction that currently owns this MB's shared
 	// state: at most one clone/merge per source runs at a time.
@@ -427,6 +430,46 @@ type call struct {
 	txn  *txn
 	dead chan struct{}
 	err  error
+
+	// delivering serializes the read loop's delivery into ch against
+	// dropCall's recycling of ch: dropCall takes it after closing dead, so
+	// once it holds the lock no sender references the channel and it can
+	// be drained and returned to the pool. dropped tells a sender that
+	// grabbed the call just before it left pending to stand down.
+	delivering sync.Mutex
+	dropped    bool
+}
+
+// callChanCap is the reply-channel capacity: deep enough that a streamed
+// get's chunks pipeline without the read loop blocking between frames.
+const callChanCap = 256
+
+// callChanPoolMax bounds how many idle channels one connection retains;
+// the list naturally grows only to the connection's peak concurrent calls
+// (the put pipeline depth plus a few).
+const callChanPoolMax = 256
+
+// getCallChanLocked pops a recycled reply channel (LIFO, which keeps reuse
+// deterministic for the reuse-correctness tests) or allocates one. The free
+// list is per connection and rides mb.mu — which newCall holds anyway — so
+// recycling adds no cross-connection synchronization to the move path.
+func (mb *mbConn) getCallChanLocked() chan *sbi.Message {
+	if n := len(mb.chanFree); n > 0 {
+		ch := mb.chanFree[n-1]
+		mb.chanFree[n-1] = nil
+		mb.chanFree = mb.chanFree[:n-1]
+		return ch
+	}
+	return make(chan *sbi.Message, callChanCap)
+}
+
+// putCallChan returns a drained, never-closed channel to the free list.
+func (mb *mbConn) putCallChan(ch chan *sbi.Message) {
+	mb.mu.Lock()
+	if len(mb.chanFree) < callChanPoolMax {
+		mb.chanFree = append(mb.chanFree, ch)
+	}
+	mb.mu.Unlock()
 }
 
 func (mb *mbConn) newCall(t *txn) (uint64, *call) {
@@ -434,7 +477,7 @@ func (mb *mbConn) newCall(t *txn) (uint64, *call) {
 	defer mb.mu.Unlock()
 	mb.nextID++
 	id := mb.nextID
-	cl := &call{ch: make(chan *sbi.Message, 256), txn: t, dead: make(chan struct{})}
+	cl := &call{ch: mb.getCallChanLocked(), txn: t, dead: make(chan struct{})}
 	mb.pending[id] = cl
 	return id, cl
 }
@@ -444,8 +487,27 @@ func (mb *mbConn) dropCall(id uint64) {
 	cl := mb.pending[id]
 	delete(mb.pending, id)
 	mb.mu.Unlock()
-	if cl != nil {
-		close(cl.dead)
+	if cl == nil {
+		// Taken over by failAll, which closed ch: a closed channel can
+		// never be recycled, so it is simply dropped.
+		return
+	}
+	close(cl.dead)
+	// Barrier: a read-loop delivery that looked the call up before it left
+	// pending may still hold ch. Closing dead above unblocks it; taking
+	// delivering after it guarantees it has let go before the channel is
+	// drained and recycled. Without this, a late reply could surface on a
+	// recycled channel inside a different call.
+	cl.delivering.Lock()
+	cl.dropped = true
+	cl.delivering.Unlock()
+	for {
+		select {
+		case <-cl.ch:
+		default:
+			mb.putCallChan(cl.ch)
+			return
+		}
 	}
 }
 
@@ -488,22 +550,28 @@ func (mb *mbConn) readLoop() error {
 			if cl == nil {
 				continue
 			}
-			if m.Type == sbi.MsgChunk && cl.txn != nil {
-				// Register here, on the read loop, so an event
-				// for any of these keys received later on this
-				// connection always finds the transaction.
-				m.EachChunk(func(ch *state.Chunk) {
-					cl.txn.registerChunk(ch.Key)
-				})
+			cl.delivering.Lock()
+			if !cl.dropped {
+				if m.Type == sbi.MsgChunk && cl.txn != nil {
+					// Register here, on the read loop, so an
+					// event for any of these keys received later
+					// on this connection always finds the
+					// transaction.
+					m.EachChunk(func(ch *state.Chunk) {
+						cl.txn.registerChunk(ch.Key)
+					})
+				}
+				// Blocking send: chunk streams may outpace the
+				// consumer (the consumer issues a put per chunk),
+				// and dropping a chunk would lose state. The dead
+				// channel unblocks the loop if the consumer
+				// abandoned the call.
+				select {
+				case cl.ch <- m:
+				case <-cl.dead:
+				}
 			}
-			// Blocking send: chunk streams may outpace the consumer
-			// (the consumer issues a put per chunk), and dropping a
-			// chunk would lose state. The dead channel unblocks the
-			// loop if the consumer abandoned the call.
-			select {
-			case cl.ch <- m:
-			case <-cl.dead:
-			}
+			cl.delivering.Unlock()
 		}
 	}
 }
@@ -522,6 +590,12 @@ func (mb *mbConn) call(req *sbi.Message, timeout time.Duration) (*sbi.Message, e
 	case m, ok := <-cl.ch:
 		if !ok {
 			return nil, mb.abortErr(cl, req.Op)
+		}
+		if m.ID != id {
+			// Recycled-channel invariant: dropCall's barrier makes a
+			// foreign reply on this channel impossible; failing loudly
+			// beats silently completing with another call's result.
+			return nil, fmt.Errorf("core: %s %s: reply %d leaked into call %d", mb.name, req.Op, m.ID, id)
 		}
 		if m.Type == sbi.MsgError {
 			return nil, fmt.Errorf("core: %s %s: %s", mb.name, req.Op, m.Error)
@@ -550,6 +624,9 @@ func (mb *mbConn) stream(t *txn, req *sbi.Message, timeout time.Duration, onChun
 		case m, ok := <-cl.ch:
 			if !ok {
 				return 0, mb.abortErr(cl, req.Op)
+			}
+			if m.ID != id {
+				return 0, fmt.Errorf("core: %s %s: reply %d leaked into call %d", mb.name, req.Op, m.ID, id)
 			}
 			switch m.Type {
 			case sbi.MsgChunk:

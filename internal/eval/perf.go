@@ -12,11 +12,45 @@ import (
 	"openmb/internal/mbox/ips"
 	"openmb/internal/mbox/mbtest"
 	"openmb/internal/mbox/monitor"
+	"openmb/internal/netsim"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/state"
 	"openmb/internal/trace"
 )
+
+// pktSource supplies the per-event packets the paced injection loops feed
+// middleboxes. On the zero-copy path (netsim.ZeroCopyDefault, i.e.
+// OPENMB_ZEROCOPY or -zerocopy) every packet is a pooled clone of a prebuilt
+// template — recycled as soon as the runtime releases it, so steady-state
+// replay allocates nothing. Otherwise each event gets a fresh heap packet,
+// the seed's behaviour and the measurable ablation.
+type pktSource struct {
+	pool      *packet.Pool
+	templates []*packet.Packet
+}
+
+// newPktSource prepares a source cycling over the given number of flows.
+func newPktSource(flows int) *pktSource {
+	if !netsim.ZeroCopyDefault() {
+		return &pktSource{}
+	}
+	s := &pktSource{pool: packet.NewPool(packet.PoolOptions{})}
+	s.templates = make([]*packet.Packet, flows)
+	for i := range s.templates {
+		s.templates[i] = mbtest.PacketForFlow(i)
+	}
+	return s
+}
+
+// packetFor returns the i-th event's packet (caller owns one reference; the
+// receiving runtime releases it after processing).
+func (s *pktSource) packetFor(i int) *packet.Packet {
+	if s.pool == nil {
+		return mbtest.PacketForFlow(i)
+	}
+	return s.pool.Clone(s.templates[i%len(s.templates)])
+}
 
 // preloadMonitor fills a monitor with n distinct flows.
 func preloadMonitor(m *monitor.Monitor, n int) *mbox.Runtime {
@@ -247,10 +281,11 @@ func countMoveEvents(logic mbox.Logic, flows, rate int, window time.Duration) (u
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
+	src := newPktSource(flows)
 	go func() {
 		defer wg.Done()
 		pace(rate, stop, func(i int) {
-			p := mbtest.PacketForFlow(i % flows)
+			p := src.packetFor(i % flows)
 			p.Flags = packet.FlagACK
 			d.rt.HandlePacket(p)
 		})
@@ -363,10 +398,11 @@ func timeMove(n, eventRate int) (time.Duration, error) {
 	var wg sync.WaitGroup
 	if eventRate > 0 {
 		wg.Add(1)
+		pkts := newPktSource(n)
 		go func() {
 			defer wg.Done()
 			pace(eventRate, stop, func(i int) {
-				srcRT.HandlePacket(mbtest.PacketForFlow(i % n))
+				srcRT.HandlePacket(pkts.packetFor(i % n))
 			})
 		}()
 	}

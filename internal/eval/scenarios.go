@@ -141,13 +141,26 @@ func Figure7ScaleUpTimeline(cfg Figure7Config) (*Table, error) {
 		}
 	}()
 
-	// Paced injection.
+	// Paced injection. On the zero-copy path the per-event packet is a
+	// pooled clone of a prebuilt template (matching bed.InjectTrace), so
+	// the scenario's steady state carries the mode's allocation behaviour.
+	templates := make([]*packet.Packet, cfg.Flows)
+	for i := range templates {
+		templates[i] = httpFlowPacket(i, cfg.Flows)
+	}
+	zero := b.Net.ZeroCopy()
 	injectDone := make(chan struct{})
 	stopInject := make(chan struct{})
 	go func() {
 		defer close(injectDone)
 		pace(cfg.Rate, stopInject, func(i int) {
-			_ = b.Net.Inject("s1", httpFlowPacket(i%cfg.Flows, cfg.Flows))
+			p := templates[i%cfg.Flows]
+			if zero {
+				p = b.Pool.Clone(p)
+			} else {
+				p = p.Clone() // the seed's fresh heap packet per event
+			}
+			_ = b.Net.Inject("s1", p)
 		})
 	}()
 	go func() {

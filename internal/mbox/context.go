@@ -13,6 +13,10 @@ import (
 // (ii) of §4.2.1.
 type Context struct {
 	rt *Runtime
+	// pkt is the packet being processed. The runtime owns its borrowed
+	// reference; Emit of this exact packet takes an extra reference so the
+	// downstream hand-off and the runtime's release stay balanced.
+	pkt *packet.Packet
 	// Replay is true when the packet is being re-processed from an event
 	// raised by a peer middlebox. Logic may consult it for rare cases
 	// (e.g. suppressing retransmission heuristics) but normally need not.
@@ -74,12 +78,22 @@ func (c *Context) TouchShared(class state.Class) {
 }
 
 // Emit sends a packet onward into the network — an external side effect,
-// suppressed during replay.
+// suppressed during replay. Emit consumes one reference on p: emit a packet
+// the logic created (e.g. a Clone it rewrote) to hand it off entirely, or
+// emit the packet currently being processed to pass it through (Emit takes
+// the downstream's reference itself; the runtime still releases its borrow
+// after Process returns).
 func (c *Context) Emit(p *packet.Packet) {
 	c.emitted++
 	if c.Replay {
 		c.rt.suppressedEmits.Add(1)
+		if p != c.pkt {
+			p.Release()
+		}
 		return
+	}
+	if p == c.pkt {
+		p.Retain()
 	}
 	c.rt.forwardPacket(p)
 }

@@ -156,6 +156,10 @@ type Monitor struct {
 	// The "indexed_get" config knob ("off") disables it, restoring the
 	// PRADS-faithful full-table linear scan for the ablation benchmarks.
 	index *state.FlowIndex
+	// serviceOn caches the "service_detection" knob: reading the config
+	// tree costs per-packet allocations (path splitting), which the
+	// zero-copy data path cannot afford. Refreshed by the config watcher.
+	serviceOn bool
 }
 
 // New returns an empty monitor with default configuration.
@@ -177,15 +181,17 @@ func New() *Monitor {
 	}
 	m.config.Watch(func(string) {
 		m.mu.Lock()
-		m.applyIndexConfigLocked()
+		m.applyConfigLocked()
 		m.mu.Unlock()
 	})
 	m.index = state.NewFlowIndex()
+	m.serviceOn = true
 	return m
 }
 
-// applyIndexConfigLocked builds or drops the flow index per config.
-func (m *Monitor) applyIndexConfigLocked() {
+// applyConfigLocked refreshes the cached knobs: builds or drops the flow
+// index and re-reads the service-detection switch.
+func (m *Monitor) applyConfigLocked() {
 	v, err := m.config.Get("indexed_get")
 	on := err == nil && len(v) == 1 && v[0] == "on"
 	switch {
@@ -197,6 +203,8 @@ func (m *Monitor) applyIndexConfigLocked() {
 	case !on && m.index != nil:
 		m.index = nil
 	}
+	v, err = m.config.Get("service_detection")
+	m.serviceOn = err == nil && len(v) > 0 && v[0] == "on"
 }
 
 // Kind implements mbox.Logic.
@@ -229,7 +237,7 @@ func (m *Monitor) Process(ctx *mbox.Context, p *packet.Packet) {
 		rec.Packets[dir]++
 		rec.Bytes[dir] += uint64(len(p.Payload))
 
-		if rec.Service == "" && len(p.Payload) > 0 && m.serviceDetectionOn() {
+		if rec.Service == "" && len(p.Payload) > 0 && m.serviceOn {
 			for _, fp := range serviceFingerprints {
 				if bytes.HasPrefix(p.Payload, fp.prefix) {
 					rec.Service = fp.service
@@ -266,11 +274,6 @@ func (m *Monitor) Process(ctx *mbox.Context, p *packet.Packet) {
 		ctx.RaiseIntrospection("monitor.asset.detected", key, map[string]string{"service": newService})
 	}
 	// A passive monitor taps traffic; it does not forward packets.
-}
-
-func (m *Monitor) serviceDetectionOn() bool {
-	v, err := m.config.Get("service_detection")
-	return err == nil && len(v) > 0 && v[0] == "on"
 }
 
 // osFromTTL is the classic passive-OS heuristic from initial TTL.

@@ -131,14 +131,23 @@ func (rt *Runtime) Name() string { return rt.name }
 func (rt *Runtime) Logic() Logic { return rt.logic }
 
 // HandlePacket implements netsim.Endpoint: it enqueues the packet for
-// processing. If the queue is full the packet is dropped, as a loaded
-// middlebox would.
+// processing. If the queue is full the packet is dropped (and its borrowed
+// reference released), as a loaded middlebox would; after Close it is
+// dropped the same way, so late link deliveries cannot strand a borrow.
 func (rt *Runtime) HandlePacket(p *packet.Packet) {
 	rt.pending.Add(1)
+	select {
+	case <-rt.stop:
+		rt.pending.Add(-1)
+		p.Release()
+		return
+	default:
+	}
 	select {
 	case rt.in <- p:
 	default:
 		rt.pending.Add(-1)
+		p.Release()
 	}
 }
 
@@ -154,25 +163,32 @@ func (rt *Runtime) forwardPacket(p *packet.Packet) {
 	rt.forwardMu.RLock()
 	fn := rt.forward
 	rt.forwardMu.RUnlock()
-	if fn != nil {
-		fn(p)
+	if fn == nil {
+		// No sink: the emit is counted but the packet goes nowhere, so
+		// its reference is released here.
+		p.Release()
+		return
 	}
+	fn(p)
 }
 
 // worker drains the ingress queues. Replayed packets (reprocess events) and
 // live packets are serialized through the same loop, so logic observes a
 // single-threaded packet stream, as the paper's per-Connection mutex
-// achieves for Bro.
+// achieves for Bro. The Context is reused across packets (the worker is the
+// only caller of process, and Logic must not retain it past Process), so the
+// steady-state path allocates nothing per packet.
 func (rt *Runtime) worker() {
 	defer rt.workersWG.Done()
+	var ctx Context
 	for {
 		select {
 		case <-rt.stop:
 			return
 		case item := <-rt.inReplay:
-			rt.process(item.p, true, item.shared)
+			rt.process(&ctx, item.p, true, item.shared)
 		case p := <-rt.in:
-			rt.process(p, false, false)
+			rt.process(&ctx, p, false, false)
 		}
 	}
 }
@@ -185,10 +201,14 @@ type replayItem struct {
 	shared bool
 }
 
-func (rt *Runtime) process(p *packet.Packet, replay, replayShared bool) {
+// process runs one packet through the logic and then releases the runtime's
+// borrowed reference (the logic takes its own via Context.Emit/Retain if it
+// keeps or forwards the packet).
+func (rt *Runtime) process(ctx *Context, p *packet.Packet, replay, replayShared bool) {
 	defer rt.pending.Add(-1)
+	defer p.Release()
 	start := time.Now()
-	ctx := &Context{rt: rt, Replay: replay, replayShared: replayShared}
+	*ctx = Context{rt: rt, pkt: p, Replay: replay, replayShared: replayShared}
 	rt.logic.Process(ctx, p)
 	elapsed := time.Since(start)
 	if rt.activeOps.Load() > 0 {
@@ -379,6 +399,10 @@ func (rt *Runtime) Metrics() Metrics {
 }
 
 // Close stops the packet worker and closes the controller connection.
+// Packets still queued are released undelivered; a delivery racing Close
+// either lands in the queue before the drain below or observes the closed
+// stop channel in HandlePacket and releases its own borrow, so no packet is
+// stranded either way.
 func (rt *Runtime) Close() {
 	rt.stopOnce.Do(func() {
 		close(rt.stop)
@@ -389,4 +413,31 @@ func (rt *Runtime) Close() {
 		rt.connMu.Unlock()
 	})
 	rt.workersWG.Wait()
+	// Drain until pending reaches zero: an in-flight HandlePacket that
+	// passed the stop check before it closed may still be about to
+	// enqueue, so keep sweeping (bounded) while borrows are outstanding.
+	deadline := time.Now().Add(time.Second)
+	for {
+		drained := false
+		for {
+			select {
+			case p := <-rt.in:
+				rt.pending.Add(-1)
+				p.Release()
+				drained = true
+				continue
+			case item := <-rt.inReplay:
+				rt.pending.Add(-1)
+				item.p.Release()
+				drained = true
+				continue
+			default:
+			}
+			break
+		}
+		if rt.pending.Load() == 0 || (!drained && time.Now().After(deadline)) {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 }

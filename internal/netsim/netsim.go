@@ -4,12 +4,32 @@
 // 5400 switch plus desktops) while preserving the property the evaluation
 // depends on: packets are in flight asynchronously, so state operations and
 // routing updates race exactly as they do on a physical network.
+//
+// # Data path and the borrow discipline
+//
+// Packets are handed between endpoints by pointer; nothing on the data path
+// marshals. The zero-copy mode (Options.ZeroCopy, env OPENMB_ZEROCOPY)
+// additionally recycles packets through a packet.Pool and replaces each
+// link's buffered channel with a batched ring buffer. Both modes share one
+// ownership contract:
+//
+//   - Send and Inject consume the caller's reference: on success it travels
+//     with the packet, on error it is released.
+//   - Endpoint.HandlePacket receives a borrowed packet and owns its one
+//     reference: it must Release it, pass it on (a further Send transfers
+//     ownership), or Retain it to keep it past return.
+//   - Fault hooks run before delivery and must not retain the packet;
+//     duplication clones via the packet's pool.
+//
+// Heap packets make every Retain/Release a no-op, so the copying (ablation)
+// path runs the identical code with the seed's allocation behaviour.
 package netsim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,7 +39,9 @@ import (
 
 // Endpoint is anything attachable to the network: a switch, a host, or a
 // middlebox adapter. HandlePacket is invoked on a link-delivery goroutine
-// and must not block indefinitely.
+// and must not block indefinitely. The packet is borrowed: the endpoint owns
+// exactly one reference and must Release it, forward it (transferring
+// ownership), or Retain it to keep it beyond return.
 type Endpoint interface {
 	HandlePacket(p *packet.Packet)
 }
@@ -34,8 +56,53 @@ const (
 	FaultDuplicate
 )
 
+// Ingress is the pseudo-port external packet arrivals enter through: Inject
+// enqueues on the (Ingress -> endpoint) link, which delivers on a pump
+// goroutine exactly like any other link. SetFault(Ingress, name, hook)
+// therefore fault-injects externally arriving traffic too.
+const Ingress = ""
+
+// Options configures a Network.
+type Options struct {
+	// ZeroCopy selects the zero-copy data path: ring-buffer links with
+	// batched hand-off and pool-recycled packets (the bed clones injected
+	// trace packets from its pool when this is on). Off reproduces the
+	// seed's copying path — per-link buffered channels and heap packets —
+	// as the measurable ablation, mirroring indexed_get=off (PR 1) and
+	// Shards=1 (PR 2).
+	ZeroCopy bool
+	// RingSize is the per-link queue capacity in packets (default 4096,
+	// the same depth as the copying path's channels).
+	RingSize int
+}
+
+// defaultZeroCopy is the mode New() uses, settable by OPENMB_ZEROCOPY and
+// cmd flags so `go test -bench` sweeps flip the whole stack at once.
+var defaultZeroCopy atomic.Bool
+
+func init() {
+	switch v := os.Getenv("OPENMB_ZEROCOPY"); v {
+	case "", "0", "off", "false", "no":
+	case "1", "on", "true", "yes":
+		defaultZeroCopy.Store(true)
+	default:
+		// A typo'd sweep config must not silently run the wrong mode and
+		// mislabel the resulting numbers.
+		panic("netsim: OPENMB_ZEROCOPY: want on/off (or 1/0), got " + v)
+	}
+}
+
+// SetZeroCopyDefault sets the data-path mode New() selects (flag plumbing
+// for cmd/openmb-bench; NewWithOptions callers choose explicitly).
+func SetZeroCopyDefault(on bool) { defaultZeroCopy.Store(on) }
+
+// ZeroCopyDefault reports the mode New() currently selects.
+func ZeroCopyDefault() bool { return defaultZeroCopy.Load() }
+
 // Network owns endpoints and links. All methods are safe for concurrent use.
 type Network struct {
+	opts Options
+
 	mu        sync.RWMutex
 	endpoints map[string]Endpoint
 	links     map[string]map[string]*link
@@ -50,13 +117,26 @@ type Network struct {
 	dropped atomic.Uint64
 }
 
-// New returns an empty network.
+// New returns an empty network in the default data-path mode (zero-copy if
+// OPENMB_ZEROCOPY or SetZeroCopyDefault turned it on).
 func New() *Network {
+	return NewWithOptions(Options{ZeroCopy: defaultZeroCopy.Load()})
+}
+
+// NewWithOptions returns an empty network with an explicit configuration.
+func NewWithOptions(opts Options) *Network {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 4096
+	}
 	return &Network{
+		opts:      opts,
 		endpoints: map[string]Endpoint{},
 		links:     map[string]map[string]*link{},
 	}
 }
+
+// ZeroCopy reports whether the network runs the zero-copy data path.
+func (n *Network) ZeroCopy() bool { return n.opts.ZeroCopy }
 
 // ErrNoSuchEndpoint is returned for sends to unattached names.
 var ErrNoSuchEndpoint = errors.New("netsim: no such endpoint")
@@ -64,12 +144,19 @@ var ErrNoSuchEndpoint = errors.New("netsim: no such endpoint")
 // ErrNoLink is returned for sends between unconnected endpoints.
 var ErrNoLink = errors.New("netsim: no link between endpoints")
 
+var errStopped = errors.New("netsim: network stopped")
+
 // Attach registers an endpoint under name. Attaching a name twice replaces
 // the endpoint (used by failover scenarios to swap in a replacement MB).
+// Attach also creates the endpoint's ingress link, so Inject and
+// SetFault(Ingress, name, ...) work from the moment of attachment.
 func (n *Network) Attach(name string, ep Endpoint) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.endpoints[name] = ep
+	if !n.stopped {
+		n.addLink(Ingress, name, 0)
+	}
 }
 
 // Endpoint returns the endpoint attached under name, or nil.
@@ -104,8 +191,12 @@ func (n *Network) addLink(from, to string, latency time.Duration) {
 	}
 	l := &link{
 		net: n, from: from, to: to, latency: latency,
-		queue: make(chan *packet.Packet, 4096),
-		done:  make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if n.opts.ZeroCopy {
+		l.ring = newPktRing(n.opts.RingSize)
+	} else {
+		l.queue = make(chan *packet.Packet, n.opts.RingSize)
 	}
 	n.links[from][to] = l
 	go l.pump()
@@ -113,7 +204,8 @@ func (n *Network) addLink(from, to string, latency time.Duration) {
 
 // SetFault installs a fault-injection hook on the from->to link. The hook
 // runs for every packet; return FaultDrop to discard or FaultDuplicate to
-// deliver twice. Pass nil to clear.
+// deliver twice. Pass nil to clear. Use from = Ingress to hook externally
+// injected packets.
 func (n *Network) SetFault(from, to string, hook func(*packet.Packet) Fault) error {
 	n.mu.RLock()
 	l := n.linkLocked(from, to)
@@ -133,41 +225,67 @@ func (n *Network) linkLocked(from, to string) *link {
 }
 
 // Send queues p on the from->to link. The packet is delivered to the remote
-// endpoint after the link latency.
+// endpoint after the link latency. Send consumes the caller's reference: on
+// success it travels with the packet, on error it is released.
 func (n *Network) Send(from, to string, p *packet.Packet) error {
 	n.mu.RLock()
 	l := n.linkLocked(from, to)
 	stopped := n.stopped
 	n.mu.RUnlock()
 	if stopped {
-		return errors.New("netsim: network stopped")
+		p.Release()
+		return errStopped
 	}
 	if l == nil {
+		p.Release()
 		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
 	}
+	return n.enqueue(l, p)
+}
+
+// Inject delivers p to the named endpoint, modeling an external packet
+// arrival (trace replay at a host or border port). It enqueues on the
+// endpoint's ingress link and therefore shares Send's delivery path: the
+// packet arrives asynchronously on the link pump goroutine, after any
+// SetFault(Ingress, at, ...) hook. Like Send, Inject consumes the caller's
+// reference.
+func (n *Network) Inject(at string, p *packet.Packet) error {
+	n.mu.RLock()
+	ep := n.endpoints[at]
+	l := n.linkLocked(Ingress, at)
+	stopped := n.stopped
+	n.mu.RUnlock()
+	if stopped {
+		p.Release()
+		return errStopped
+	}
+	if ep == nil || l == nil {
+		p.Release()
+		return fmt.Errorf("%w: %q", ErrNoSuchEndpoint, at)
+	}
+	return n.enqueue(l, p)
+}
+
+// enqueue puts p on l, blocking while the link queue is full (link-level
+// backpressure, identical in both modes).
+func (n *Network) enqueue(l *link, p *packet.Packet) error {
 	n.inflight.Add(1)
+	if l.ring != nil {
+		if !l.ring.push(p) {
+			n.inflight.Add(-1)
+			p.Release()
+			return errors.New("netsim: link closed")
+		}
+		return nil
+	}
 	select {
 	case l.queue <- p:
 		return nil
 	case <-l.done:
 		n.inflight.Add(-1)
+		p.Release()
 		return errors.New("netsim: link closed")
 	}
-}
-
-// Inject delivers p directly to the named endpoint, modeling an external
-// packet arrival (trace replay at a host or border port).
-func (n *Network) Inject(at string, p *packet.Packet) error {
-	n.mu.RLock()
-	ep := n.endpoints[at]
-	n.mu.RUnlock()
-	if ep == nil {
-		return fmt.Errorf("%w: %q", ErrNoSuchEndpoint, at)
-	}
-	n.inflight.Add(1)
-	defer n.inflight.Add(-1)
-	ep.HandlePacket(p)
-	return nil
 }
 
 // Quiesce blocks until no packets are queued or being delivered, or the
@@ -197,7 +315,8 @@ func (n *Network) Delivered() uint64 { return n.delivered.Load() }
 // Dropped returns the count of fault-injected drops.
 func (n *Network) Dropped() uint64 { return n.dropped.Load() }
 
-// Stop closes all links. Sends after Stop fail.
+// Stop closes all links. Sends after Stop fail; packets still queued are
+// released undelivered.
 func (n *Network) Stop() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -217,57 +336,120 @@ type link struct {
 	from    string
 	to      string
 	latency time.Duration
-	queue   chan *packet.Packet
-	done    chan struct{}
-	once    sync.Once
-	fault   atomic.Pointer[func(*packet.Packet) Fault]
+	// Exactly one of queue (copying mode) and ring (zero-copy mode) is
+	// non-nil.
+	queue chan *packet.Packet
+	ring  *pktRing
+	done  chan struct{}
+	once  sync.Once
+	fault atomic.Pointer[func(*packet.Packet) Fault]
 }
 
-func (l *link) close() { l.once.Do(func() { close(l.done) }) }
+func (l *link) close() {
+	l.once.Do(func() {
+		close(l.done)
+		if l.ring != nil {
+			l.ring.close()
+		}
+	})
+}
+
+// ringBatch is how many packets the zero-copy pump takes per ring
+// synchronization.
+const ringBatch = 64
 
 func (l *link) pump() {
+	if l.ring != nil {
+		l.pumpRing()
+		return
+	}
+	l.pumpChan()
+}
+
+func (l *link) pumpChan() {
 	for {
 		select {
 		case <-l.done:
 			// Drain anything still queued so inflight reaches zero.
 			for {
 				select {
-				case <-l.queue:
+				case p := <-l.queue:
+					p.Release()
 					l.net.inflight.Add(-1)
 				default:
 					return
 				}
 			}
 		case p := <-l.queue:
-			if l.latency > 0 {
-				time.Sleep(l.latency)
-			}
-			verdict := FaultNone
-			if h := l.fault.Load(); h != nil && *h != nil {
-				verdict = (*h)(p)
-			}
-			switch verdict {
-			case FaultDrop:
-				l.net.dropped.Add(1)
-			case FaultDuplicate:
-				l.deliver(p)
-				l.deliver(p.Clone())
-			default:
-				l.deliver(p)
+			l.process(p)
+			l.net.inflight.Add(-1)
+		}
+	}
+}
+
+func (l *link) pumpRing() {
+	batch := make([]*packet.Packet, ringBatch)
+	for {
+		k := l.ring.popBatch(batch)
+		if k == 0 {
+			return // closed and drained
+		}
+		closed := false
+		select {
+		case <-l.done:
+			closed = true
+		default:
+		}
+		for i := 0; i < k; i++ {
+			p := batch[i]
+			batch[i] = nil
+			if closed {
+				p.Release()
+			} else {
+				l.process(p)
 			}
 			l.net.inflight.Add(-1)
 		}
 	}
 }
 
+// process applies latency and the fault hook to one dequeued packet, then
+// delivers it. It owns p's reference and disposes of it on every path.
+func (l *link) process(p *packet.Packet) {
+	if l.latency > 0 {
+		time.Sleep(l.latency)
+	}
+	verdict := FaultNone
+	if h := l.fault.Load(); h != nil && *h != nil {
+		verdict = (*h)(p)
+	}
+	switch verdict {
+	case FaultDrop:
+		l.net.dropped.Add(1)
+		p.Release()
+	case FaultDuplicate:
+		// Clone before the first delivery: delivering transfers
+		// ownership, and a pooled packet may be released and recycled by
+		// the endpoint before a later Clone would run.
+		dup := p.Clone()
+		l.deliver(p)
+		l.deliver(dup)
+	default:
+		l.deliver(p)
+	}
+}
+
+// deliver hands p (and its reference) to the link's destination endpoint.
 func (l *link) deliver(p *packet.Packet) {
 	l.net.mu.RLock()
 	ep := l.net.endpoints[l.to]
 	l.net.mu.RUnlock()
-	if ep != nil {
-		ep.HandlePacket(p)
-		l.net.delivered.Add(1)
+	if ep == nil {
+		p.Release()
+		return
 	}
+	ep.HandlePacket(p)
+	l.net.delivered.Add(1)
 }
 
 // DropFraction returns a fault hook dropping packets with probability p,

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"sync"
+
+	"openmb/internal/packet"
+)
+
+// pktRing is the zero-copy link queue: a fixed-capacity ring of packet
+// pointers with blocking push and batched pop. Compared to the copying
+// path's buffered channel it hands the consumer whole batches per lock
+// acquisition, so a busy link pays one synchronization per batch rather
+// than one per packet — the hand-off cost mmb-style userspace data planes
+// optimize away. Multiple producers (every upstream pump that forwards into
+// this link) may push concurrently; the link's single pump goroutine is the
+// only consumer.
+type pktRing struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []*packet.Packet
+	head     int // index of the oldest element
+	n        int // number of queued elements
+	closed   bool
+}
+
+func newPktRing(capacity int) *pktRing {
+	r := &pktRing{buf: make([]*packet.Packet, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// push enqueues p, blocking while the ring is full. It reports false when
+// the ring closed (the packet was not enqueued).
+func (r *pktRing) push(p *packet.Packet) bool {
+	r.mu.Lock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+	if r.n == 1 {
+		r.notEmpty.Signal()
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// popBatch dequeues up to len(dst) packets into dst, blocking while the ring
+// is empty. It returns 0 only when the ring is closed and drained.
+func (r *pktRing) popBatch(dst []*packet.Packet) int {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	k := r.n
+	if k > len(dst) {
+		k = len(dst)
+	}
+	for i := 0; i < k; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.n -= k
+	if k > 0 {
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+	return k
+}
+
+// close marks the ring closed and wakes all waiters. Queued packets remain
+// for the consumer to drain.
+func (r *pktRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}

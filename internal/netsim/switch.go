@@ -114,7 +114,9 @@ func (s *Switch) TableMisses() uint64 { return s.tableMisses.Load() }
 func (s *Switch) Forwarded() uint64 { return s.forwarded.Load() }
 
 // HandlePacket looks up the flow table and forwards the packet. Within a
-// priority class the most recently installed matching rule wins.
+// priority class the most recently installed matching rule wins. The
+// borrowed reference is passed on with the forwarded packet (mirror ports
+// get clones) or released on a table miss.
 func (s *Switch) HandlePacket(p *packet.Packet) {
 	s.mu.RLock()
 	var hit *InstalledRule
@@ -128,25 +130,44 @@ func (s *Switch) HandlePacket(p *packet.Packet) {
 		}
 	}
 	s.mu.RUnlock()
-	if hit == nil {
-		s.tableMisses.Add(1)
+	if hit == nil || len(hit.OutPorts) == 0 {
+		if hit != nil {
+			hit.packets.Add(1)
+		} else {
+			s.tableMisses.Add(1)
+		}
+		p.Release()
 		return
 	}
 	hit.packets.Add(1)
-	for i, port := range hit.OutPorts {
-		out := p
-		if i > 0 {
-			out = p.Clone()
-		}
-		if err := s.net.Send(s.name, port, out); err != nil {
-			// Forwarding to a detached port mirrors a real switch
-			// sending into a dead link: the packet is lost, which
-			// the experiments observe as a table-level drop.
-			s.tableMisses.Add(1)
-			continue
-		}
-		s.forwarded.Add(1)
+	if len(hit.OutPorts) == 1 {
+		s.sendOut(hit.OutPorts[0], p)
+		return
 	}
+	// Mirror copies are cloned before any send: sending transfers
+	// ownership of p, and a pooled p may be recycled by its receiver
+	// before a later Clone would run.
+	outs := make([]*packet.Packet, len(hit.OutPorts))
+	outs[0] = p
+	for i := 1; i < len(outs); i++ {
+		outs[i] = p.Clone()
+	}
+	for i, port := range hit.OutPorts {
+		s.sendOut(port, outs[i])
+	}
+}
+
+// sendOut forwards one packet (consuming its reference) and keeps the
+// forwarding statistics.
+func (s *Switch) sendOut(port string, p *packet.Packet) {
+	if err := s.net.Send(s.name, port, p); err != nil {
+		// Forwarding to a detached port mirrors a real switch sending
+		// into a dead link: the packet is lost, which the experiments
+		// observe as a table-level drop.
+		s.tableMisses.Add(1)
+		return
+	}
+	s.forwarded.Add(1)
 }
 
 // Host is a terminal endpoint. It records received packets (bounded) and
@@ -179,17 +200,21 @@ func NewHost(n *Network, name string, limit int) *Host {
 // Name returns the host's network name.
 func (h *Host) Name() string { return h.name }
 
-// HandlePacket records the packet.
+// HandlePacket records the packet. A recorded packet keeps the borrowed
+// reference until Reset; packets beyond the record limit are released.
 func (h *Host) HandlePacket(p *packet.Packet) {
 	if h.OnPacket != nil {
 		h.OnPacket(p)
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.count++
 	if len(h.received) < h.limit {
 		h.received = append(h.received, p)
+		h.mu.Unlock()
+		return
 	}
+	h.mu.Unlock()
+	p.Release()
 }
 
 // Send transmits a packet toward a connected neighbor.
@@ -210,10 +235,15 @@ func (h *Host) Count() uint64 {
 	return h.count
 }
 
-// Reset clears the recorded packets and count.
+// Reset clears the recorded packets and count, releasing the references the
+// records held.
 func (h *Host) Reset() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	recorded := h.received
 	h.received = nil
 	h.count = 0
+	h.mu.Unlock()
+	for _, p := range recorded {
+		p.Release()
+	}
 }

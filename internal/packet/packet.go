@@ -68,6 +68,26 @@ type Packet struct {
 	// Timestamp is the trace or arrival time in nanoseconds since the
 	// start of the run. It is metadata, not serialized on the wire.
 	Timestamp int64
+
+	// pool and refs implement the zero-copy borrow/release discipline (see
+	// Pool). pool is nil for ordinary heap packets, which makes Retain and
+	// Release no-ops on them. refs is manipulated with sync/atomic.
+	pool *Pool
+	refs int32
+}
+
+// copyFieldsTo copies p's protocol fields (everything but Payload and the
+// pool bookkeeping) into q. Used by the clone paths, which must not copy the
+// reference count: a whole-struct copy would read refs non-atomically while
+// other holders release.
+func (p *Packet) copyFieldsTo(q *Packet) {
+	q.SrcIP, q.DstIP = p.SrcIP, p.DstIP
+	q.Proto = p.Proto
+	q.SrcPort, q.DstPort = p.SrcPort, p.DstPort
+	q.Seq, q.Ack = p.Seq, p.Ack
+	q.Flags, q.TTL = p.Flags, p.TTL
+	q.ID = p.ID
+	q.Timestamp = p.Timestamp
 }
 
 // headerLen is the fixed encoding size before the payload: a 2-byte length
@@ -120,14 +140,20 @@ func (p *Packet) Unmarshal(b []byte) error {
 
 // Clone returns a deep copy of p, including the payload. Middleboxes clone
 // packets before attaching them to reprocess events so later in-place reuse
-// of trace buffers cannot corrupt the event.
+// of trace buffers cannot corrupt the event. A pooled packet clones from its
+// pool (the copy holds one reference); a heap packet clones to the heap, so
+// the copying ablation path never touches a pool.
 func (p *Packet) Clone() *Packet {
-	q := *p
+	if p.pool != nil {
+		return p.pool.Clone(p)
+	}
+	q := &Packet{}
+	p.copyFieldsTo(q)
 	if p.Payload != nil {
 		q.Payload = make([]byte, len(p.Payload))
 		copy(q.Payload, p.Payload)
 	}
-	return &q
+	return q
 }
 
 // Flow returns the directed flow key of the packet.

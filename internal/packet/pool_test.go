@@ -1,0 +1,176 @@
+package packet
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func poolPacket() *Packet {
+	return &Packet{
+		SrcIP:   netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		DstIP:   netip.AddrFrom4([4]byte{1, 1, 1, 1}),
+		Proto:   ProtoTCP,
+		SrcPort: 1234, DstPort: 80,
+		Seq: 42, Ack: 7, Flags: FlagACK, TTL: 64, ID: 9,
+		Payload:   []byte("hello pool"),
+		Timestamp: 1000,
+	}
+}
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := NewPool(PoolOptions{})
+	p := pl.Get()
+	if !p.Pooled() {
+		t.Fatal("Get returned an unpooled packet")
+	}
+	p.Release()
+	q := pl.Get()
+	if q != p {
+		t.Fatal("released packet was not recycled")
+	}
+	q.Release()
+	st := pl.Stats()
+	if st.News != 1 || st.Gets != 2 || st.Releases != 2 || st.Outstanding != 0 {
+		t.Fatalf("stats after recycle: %+v", st)
+	}
+}
+
+func TestPoolCloneIsDeepAndReset(t *testing.T) {
+	pl := NewPool(PoolOptions{})
+	src := poolPacket()
+	c := pl.Clone(src)
+	if c.String() != src.String() || c.Seq != src.Seq || c.Timestamp != src.Timestamp {
+		t.Fatalf("clone differs: %v vs %v", c, src)
+	}
+	c.Payload[0] = 'X'
+	if src.Payload[0] == 'X' {
+		t.Fatal("clone shares payload storage with source")
+	}
+	c.Release()
+	// The recycled packet must come back fully reset but keep its payload
+	// capacity, so the next clone does not allocate.
+	r := pl.Get()
+	if r != c {
+		t.Fatal("expected the released clone back")
+	}
+	if r.SrcIP.IsValid() || r.Seq != 0 || len(r.Payload) != 0 {
+		t.Fatalf("recycled packet not reset: %+v", r)
+	}
+	if cap(r.Payload) < len(src.Payload) {
+		t.Fatalf("recycled packet lost payload capacity: %d", cap(r.Payload))
+	}
+	r.Release()
+}
+
+func TestPooledPacketCloneDrawsFromPool(t *testing.T) {
+	pl := NewPool(PoolOptions{})
+	p := pl.Clone(poolPacket())
+	q := p.Clone() // Packet.Clone on a pooled packet must use the pool
+	if !q.Pooled() {
+		t.Fatal("clone of a pooled packet is not pooled")
+	}
+	p.Release()
+	q.Release()
+	if err := pl.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPacketRetainReleaseNoops(t *testing.T) {
+	p := poolPacket()
+	p.Retain()
+	p.Release()
+	p.Release() // no-ops must tolerate arbitrary imbalance on heap packets
+	if q := p.Clone(); q.Pooled() {
+		t.Fatal("heap clone became pooled")
+	}
+}
+
+func TestRetainBalancesRelease(t *testing.T) {
+	pl := NewPool(PoolOptions{Accounting: true})
+	p := pl.Get()
+	p.Retain()
+	p.Release()
+	if pl.Outstanding() != 1 {
+		t.Fatalf("outstanding after retain+release: %d", pl.Outstanding())
+	}
+	p.Release()
+	if err := pl.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	for _, accounting := range []bool{false, true} {
+		pl := NewPool(PoolOptions{Accounting: accounting})
+		p := pl.Get()
+		p.Release()
+		// Reborrow so the fast path's refcount alone cannot catch the
+		// stale release in accounting mode.
+		q := pl.Get()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("double release did not panic (accounting=%v)", accounting)
+				}
+			}()
+			if accounting {
+				// q == p after recycling: the stale holder releases
+				// the packet it no longer owns... after the packet
+				// was already fully released once more.
+				q.Release()
+				q.Release()
+			} else {
+				p.Release()
+				p.Release()
+			}
+		}()
+	}
+}
+
+func TestCheckLeaksReportsBorrowedPackets(t *testing.T) {
+	pl := NewPool(PoolOptions{Accounting: true})
+	p := pl.Clone(poolPacket())
+	q := pl.Get()
+	err := pl.CheckLeaks()
+	if err == nil {
+		t.Fatal("CheckLeaks missed two borrowed packets")
+	}
+	if !strings.Contains(err.Error(), "2 borrowed") {
+		t.Fatalf("leak report: %v", err)
+	}
+	p.Release()
+	q.Release()
+	if err := pl.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolConcurrentBorrowers(t *testing.T) {
+	pl := NewPool(PoolOptions{Accounting: true})
+	tpl := poolPacket()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := pl.Clone(tpl)
+				p.Retain()
+				q := p.Clone()
+				p.Release()
+				q.Release()
+				p.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := pl.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+	if st := pl.Stats(); st.News > 64 {
+		t.Fatalf("pool kept allocating under reuse: %+v", st)
+	}
+}

@@ -160,14 +160,56 @@ func NewREDecoder(cacheBytes int) *REDecoder { return re.NewDecoder(cacheBytes) 
 // Network is the software switch fabric.
 type Network = netsim.Network
 
+// NetworkOptions selects the network data path: zero-copy (pooled packets
+// over ring-buffer links) or the copying ablation.
+type NetworkOptions = netsim.Options
+
 // Switch is a software switch with a priority flow table.
 type Switch = netsim.Switch
 
 // Host is a terminal endpoint recording received packets.
 type Host = netsim.Host
 
-// NewNetwork creates an empty network.
+// PacketPool recycles packets for the zero-copy data path. Packets handed
+// to the network are borrowed: see the netsim package docs for the
+// borrow/release contract.
+type PacketPool = packet.Pool
+
+// PacketPoolOptions configures a PacketPool (accounting mode enables the
+// leak/double-release invariant checker).
+type PacketPoolOptions = packet.PoolOptions
+
+// NewPacketPool creates a packet pool.
+func NewPacketPool(opts PacketPoolOptions) *PacketPool { return packet.NewPool(opts) }
+
+// NewNetwork creates an empty network in the default data-path mode
+// (zero-copy when OPENMB_ZEROCOPY is set).
 func NewNetwork() *Network { return netsim.New() }
+
+// NewNetworkWithOptions creates an empty network with an explicit data-path
+// configuration.
+func NewNetworkWithOptions(opts NetworkOptions) *Network { return netsim.NewWithOptions(opts) }
+
+// Rule is one switch flow-table entry.
+type Rule = netsim.Rule
+
+// Fault is a link-level fault-injection verdict; see Network.SetFault.
+type Fault = netsim.Fault
+
+// Fault verdicts.
+const (
+	FaultNone      = netsim.FaultNone
+	FaultDrop      = netsim.FaultDrop
+	FaultDuplicate = netsim.FaultDuplicate
+)
+
+// Ingress is the pseudo-port injected packets enter through; use it as the
+// "from" side of SetFault to fault-inject external arrivals.
+const Ingress = netsim.Ingress
+
+// DropFraction returns a fault hook dropping packets with probability p,
+// deterministically from seed.
+func DropFraction(p float64, seed int64) func(*Packet) Fault { return netsim.DropFraction(p, seed) }
 
 // NewSwitch attaches a new switch to the network.
 func NewSwitch(n *Network, name string) *Switch { return netsim.NewSwitch(n, name) }
