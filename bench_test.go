@@ -142,6 +142,22 @@ func BenchmarkAblationSerializedMoves(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterRebalanceUnderLoad is the Figure 10(b)-style sweep on the
+// controller cluster: 4 simultaneous moves with live mid-move handoffs at
+// replicas=3, against the replicas=1 single-controller ablation. Each run
+// asserts loss-freedom (no chunk lost or duplicated across the handoffs).
+func BenchmarkClusterRebalanceUnderLoad(b *testing.B) {
+	for _, replicas := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			runExp(b, func() (*eval.Table, error) {
+				return eval.RebalanceUnderLoad(eval.RebalanceConfig{
+					Pairs: 4, Chunks: 1000, Replicas: []int{replicas}, Handoffs: 4,
+				})
+			})
+		})
+	}
+}
+
 // BenchmarkSnapshotComparison regenerates the §8.1.2 snapshot experiment.
 func BenchmarkSnapshotComparison(b *testing.B) {
 	runExp(b, func() (*eval.Table, error) { return eval.SnapshotComparison(50, 60) })

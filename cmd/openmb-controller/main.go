@@ -3,6 +3,14 @@
 // logs registrations and introspection events. Northbound operations are
 // exposed programmatically (package openmb); this daemon exists to
 // demonstrate the multi-process deployment of the southbound protocol.
+//
+// With -replicas N (or OPENMB_REPLICAS) the daemon runs a controller
+// CLUSTER: N replicas behind the one listener, middleboxes partitioned
+// across them by the consistent-hash directory. -rebalance enables a
+// periodic live rotation — every interval, one middlebox is handed off to
+// the next replica mid-flight — exercising the ownership-transfer protocol
+// continuously, the way a production deployment would during maintenance
+// drains.
 package main
 
 import (
@@ -22,53 +30,98 @@ func main() {
 	quiet := flag.Duration("quiet-period", 5*time.Second, "event quiescence before completing transactions (the paper's 5 s default)")
 	compress := flag.Bool("compress", false, "flate-compress state transfers (§8.3)")
 	batch := flag.Int("batch", 1, "state chunks per frame during moves (1 = the paper's one-chunk frames)")
-	shards := flag.Int("shards", envShards(), "transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation; default from OPENMB_SHARDS)")
+	shards := flag.Int("shards", envInt("OPENMB_SHARDS", 0), "transaction-router shards per replica (0 = auto from GOMAXPROCS, 1 = serialized ablation; default from OPENMB_SHARDS)")
+	replicas := flag.Int("replicas", envInt("OPENMB_REPLICAS", 1), "controller replicas in the cluster (1 = single-controller; default from OPENMB_REPLICAS)")
+	rebalance := flag.Duration("rebalance", 0, "interval between live handoffs rotating one middlebox to the next replica (0 = never)")
 	events := flag.Bool("log-events", true, "log introspection events")
 	flag.Parse()
 
-	ctrl := openmb.NewController(openmb.ControllerOptions{
-		QuietPeriod: *quiet,
-		Compress:    *compress,
-		BatchSize:   *batch,
-		Shards:      *shards,
+	cluster := openmb.NewCluster(openmb.ClusterOptions{
+		Replicas: *replicas,
+		Controller: openmb.ControllerOptions{
+			QuietPeriod: *quiet,
+			Compress:    *compress,
+			BatchSize:   *batch,
+			Shards:      *shards,
+		},
 	})
 	if *events {
-		ctrl.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
+		cluster.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
 			log.Printf("event from %s: code=%s key=%s values=%v", mb, ev.Code, ev.Key, ev.Values)
 		})
 	}
-	if err := ctrl.Serve(openmb.TCPTransport{}, *listen); err != nil {
+	if err := cluster.Serve(openmb.TCPTransport{}, *listen); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("openmb-controller listening on %s (quiet period %v, compress=%v, batch=%d, shards=%d)",
-		*listen, *quiet, *compress, *batch, ctrl.Shards())
+	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d)",
+		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards())
 
-	// Periodically report the registered middleboxes.
+	// Periodically report the registered middleboxes and their replicas.
 	go func() {
 		for range time.Tick(5 * time.Second) {
-			log.Printf("registered middleboxes: %v", ctrl.Middleboxes())
+			log.Printf("registered middleboxes: %v", describeOwners(cluster))
 		}
 	}()
+
+	// Live rotation: one handoff per interval, round-robin over the
+	// registered middleboxes, each to the next replica.
+	if *rebalance > 0 && cluster.Replicas() > 1 {
+		go func() {
+			i := 0
+			for range time.Tick(*rebalance) {
+				names := cluster.Middleboxes()
+				if len(names) == 0 {
+					continue
+				}
+				name := names[i%len(names)]
+				i++
+				cur, err := cluster.ReplicaOf(name)
+				if err != nil {
+					continue
+				}
+				target := (cur + 1) % cluster.Replicas()
+				if err := cluster.Rebalance(name, target); err != nil {
+					log.Printf("rebalance %s -> replica %d: %v", name, target, err)
+					continue
+				}
+				log.Printf("rebalanced %s: replica %d -> %d (%d handoffs total)", name, cur, target, cluster.Handoffs())
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("shutting down")
-	ctrl.Close()
+	cluster.Close()
 }
 
-// envShards reads the OPENMB_SHARDS default for the -shards flag; 0 (auto)
-// when unset or malformed — a daemon should start rather than die on a
-// stale environment variable, and the resolved count is logged at startup.
-func envShards() int {
-	env := os.Getenv("OPENMB_SHARDS")
+// describeOwners renders "name@replica" for every registered middlebox.
+func describeOwners(cl *openmb.Cluster) []string {
+	names := cl.Middleboxes()
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		r, err := cl.ReplicaOf(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s@%d", n, r))
+	}
+	return out
+}
+
+// envInt reads an integer default for a flag; fallback when unset or
+// malformed — a daemon should start rather than die on a stale environment
+// variable, and the resolved configuration is logged at startup.
+func envInt(key string, fallback int) int {
+	env := os.Getenv(key)
 	if env == "" {
-		return 0
+		return fallback
 	}
 	n, err := strconv.Atoi(env)
 	if err != nil || n < 0 {
-		log.Printf("openmb-controller: ignoring OPENMB_SHARDS=%q: want a non-negative integer", env)
-		return 0
+		log.Printf("openmb-controller: ignoring %s=%q: want a non-negative integer", key, env)
+		return fallback
 	}
 	return n
 }

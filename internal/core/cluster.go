@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+	"openmb/internal/state"
+)
+
+// Cluster runs N Controller replicas behind one listener and partitions the
+// registered middleboxes across them by a consistent-hash directory. The
+// paper's control plane is a single controller process; a Stratos-style
+// deployment orchestrates pools of middleboxes whose control load exceeds
+// one instance, so each replica here owns a slice of the MB population —
+// its connections, its transaction router shards, its completer — and the
+// cluster proxies the northbound API so applications keep calling one
+// object:
+//
+//   - same-partition operations delegate to the owning replica unchanged;
+//   - cross-partition moves/clones/merges run on the source's replica while
+//     the destination connection is resolved cluster-wide (the transaction
+//     machinery never required both endpoints to share a router — event
+//     routing keys on the source, and forwarding is plain connection I/O);
+//   - Rebalance/Drain move a middlebox between replicas LIVE, mid-
+//     transaction, via the handoff protocol in handoff.go.
+//
+// Replicas = 1 is the ablation: one replica, the directory always answering
+// 0, and every operation taking exactly today's single-controller path.
+type ClusterOptions struct {
+	// Replicas is the number of controller replicas (default 1).
+	Replicas int
+	// Controller configures every replica (quiet period, shards, ...).
+	Controller Options
+}
+
+// Cluster is a replicated OpenMB controller.
+type Cluster struct {
+	replicas []*Controller
+	dir      *directory
+
+	mu       sync.Mutex // serializes handoffs and listener state
+	listener net.Listener
+	closed   atomic.Bool
+
+	// handoffs counts completed live ownership transfers.
+	handoffs atomic.Uint64
+}
+
+// NewCluster creates a cluster of opts.Replicas controller replicas.
+func NewCluster(opts ClusterOptions) *Cluster {
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	cl := &Cluster{dir: newDirectory(opts.Replicas)}
+	for i := 0; i < opts.Replicas; i++ {
+		c := NewController(opts.Controller)
+		// Replicas of a multi-replica cluster participate in handoffs;
+		// a replicas=1 cluster has nowhere to hand off to and keeps the
+		// single-controller fast path (the ablation stays exact).
+		c.clustered = opts.Replicas > 1
+		cl.replicas = append(cl.replicas, c)
+	}
+	return cl
+}
+
+// Replicas returns the replica count.
+func (cl *Cluster) Replicas() int { return len(cl.replicas) }
+
+// Replica returns the i-th replica, for tests and per-replica metrics.
+func (cl *Cluster) Replica(i int) *Controller { return cl.replicas[i] }
+
+// Shards reports the per-replica router shard count (all replicas share one
+// Options value).
+func (cl *Cluster) Shards() int { return cl.replicas[0].Shards() }
+
+// Serve starts accepting middlebox connections on addr. The cluster reads
+// each connection's hello itself — the directory needs the MB name to pick
+// the owning replica — then hands the connection to that replica, which
+// upgrades the codec and runs the read loop exactly as a lone controller
+// would.
+func (cl *Cluster) Serve(tr sbi.Transport, addr string) error {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("core: cluster listen %q: %w", addr, err)
+	}
+	cl.mu.Lock()
+	cl.listener = l
+	cl.mu.Unlock()
+	go cl.acceptLoop(l)
+	return nil
+}
+
+func (cl *Cluster) acceptLoop(l net.Listener) {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn := sbi.NewConn(raw)
+			hello, err := conn.Receive()
+			if err != nil || hello.Type != sbi.MsgHello || hello.Name == "" {
+				conn.Close()
+				return
+			}
+			cl.replicas[cl.dir.owner(hello.Name)].serveMB(conn, hello)
+		}()
+	}
+}
+
+// Addr returns the listener's address, or "" before Serve.
+func (cl *Cluster) Addr() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.listener == nil {
+		return ""
+	}
+	return cl.listener.Addr().String()
+}
+
+// find resolves a middlebox to its current replica and connection. The
+// directory owner is checked first; a scan covers the races a concurrent
+// rebalance can open between the directory update and the table moves.
+func (cl *Cluster) find(name string) (*Controller, *mbConn, error) {
+	owner := cl.dir.owner(name)
+	for off := 0; off < len(cl.replicas); off++ {
+		c := cl.replicas[(owner+off)%len(cl.replicas)]
+		c.mu.Lock()
+		mb, ok := c.mbs[name]
+		c.mu.Unlock()
+		if ok {
+			return c, mb, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("core: unknown middlebox %q", name)
+}
+
+// ReplicaOf reports which replica currently serves the middlebox.
+func (cl *Cluster) ReplicaOf(name string) (int, error) {
+	c, _, err := cl.find(name)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range cl.replicas {
+		if r == c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: middlebox %q on unknown replica", name)
+}
+
+// WaitForMB blocks until the middlebox is registered anywhere in the
+// cluster. The blocking wait parks on the directory owner's waiter
+// registry (the replica a fresh registration lands on), but each wait is
+// sliced and re-resolved cluster-wide: a concurrent Rebalance moves the
+// name between replicas and wakes only the new owner's waiters, so a
+// single full-timeout wait on one replica could miss it.
+func (cl *Cluster) WaitForMB(name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, _, err := cl.find(name); err == nil {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("core: middlebox %q did not register", name)
+		}
+		slice := remain
+		if slice > 50*time.Millisecond {
+			slice = 50 * time.Millisecond
+		}
+		// Wakes early when the name registers at the current owner;
+		// otherwise the slice bounds how stale the owner resolution and
+		// the cluster-wide scan can get.
+		_ = cl.replicas[cl.dir.owner(name)].WaitForMB(name, slice)
+	}
+}
+
+// Middleboxes returns the names registered across all replicas.
+func (cl *Cluster) Middleboxes() []string {
+	var names []string
+	for _, c := range cl.replicas {
+		names = append(names, c.Middleboxes()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SubscribeIntrospection registers fn on every replica, so events arrive
+// regardless of which replica owns the raising middlebox.
+func (cl *Cluster) SubscribeIntrospection(fn func(mb string, ev *sbi.Event)) {
+	for _, c := range cl.replicas {
+		c.SubscribeIntrospection(fn)
+	}
+}
+
+// The proxied single-MB operations below resolve the name cluster-wide
+// once and then call through the resolved connection: re-resolving by name
+// on the owning replica would race a concurrent Rebalance moving the name
+// away between the two lookups and fail a healthy middlebox.
+
+// ReadConfig proxies to the middlebox's replica.
+func (cl *Cluster) ReadConfig(mbName, path string) ([]state.Entry, error) {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return nil, err
+	}
+	return c.readConfigConn(mb, path)
+}
+
+// WriteConfig proxies to the middlebox's replica.
+func (cl *Cluster) WriteConfig(mbName, path string, values []string) error {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return err
+	}
+	return c.writeConfigConn(mb, path, values)
+}
+
+// WriteConfigAll proxies to the middlebox's replica.
+func (cl *Cluster) WriteConfigAll(mbName string, entries []state.Entry) error {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return err
+	}
+	return c.writeConfigAllConn(mb, entries)
+}
+
+// DelConfig proxies to the middlebox's replica.
+func (cl *Cluster) DelConfig(mbName, path string) error {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return err
+	}
+	return c.delConfigConn(mb, path)
+}
+
+// CloneConfig copies all configuration between middleboxes on any replicas:
+// the read runs at the source's replica, the write at the destination's.
+func (cl *Cluster) CloneConfig(srcMB, dstMB string) error {
+	entries, err := cl.ReadConfig(srcMB, "*")
+	if err != nil {
+		return err
+	}
+	return cl.WriteConfigAll(dstMB, entries)
+}
+
+// Stats proxies to the middlebox's replica.
+func (cl *Cluster) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, error) {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return sbi.StatsReply{}, err
+	}
+	return c.statsConn(mb, m)
+}
+
+// SetEventFilter proxies to the middlebox's replica.
+func (cl *Cluster) SetEventFilter(mbName, codePrefix string, m packet.FieldMatch, enable bool) error {
+	c, mb, err := cl.find(mbName)
+	if err != nil {
+		return err
+	}
+	return c.setEventFilterConn(mb, codePrefix, m, enable, 0)
+}
+
+// MoveInternal moves per-flow state between middleboxes on any replicas.
+// The transaction runs on the source's replica (its completer finishes it;
+// its metrics count it); the destination is resolved cluster-wide.
+func (cl *Cluster) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) error {
+	srcC, src, err := cl.find(srcMB)
+	if err != nil {
+		return err
+	}
+	_, dst, err := cl.find(dstMB)
+	if err != nil {
+		return err
+	}
+	return srcC.moveConns(src, dst, m)
+}
+
+// CloneSupport clones shared supporting state across partitions; see
+// Controller.CloneSupport.
+func (cl *Cluster) CloneSupport(srcMB, dstMB string) error {
+	return cl.sharedTransfer(srcMB, dstMB,
+		[]sbi.Op{sbi.OpGetSupportShared}, []sbi.Op{sbi.OpPutSupportShared})
+}
+
+// MergeInternal merges shared state across partitions; see
+// Controller.MergeInternal.
+func (cl *Cluster) MergeInternal(srcMB, dstMB string) error {
+	return cl.sharedTransfer(srcMB, dstMB,
+		[]sbi.Op{sbi.OpGetSupportShared, sbi.OpGetReportShared},
+		[]sbi.Op{sbi.OpPutSupportShared, sbi.OpPutReportShared})
+}
+
+func (cl *Cluster) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op) error {
+	srcC, src, err := cl.find(srcMB)
+	if err != nil {
+		return err
+	}
+	_, dst, err := cl.find(dstMB)
+	if err != nil {
+		return err
+	}
+	return srcC.sharedTransferConns(src, dst, getOps, putOps)
+}
+
+// WaitTxns blocks until every replica's in-flight transactions have
+// finished, or the timeout elapses.
+func (cl *Cluster) WaitTxns(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for _, c := range cl.replicas {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			remain = time.Millisecond
+		}
+		if !c.WaitTxns(remain) {
+			return false
+		}
+	}
+	return true
+}
+
+// Handoffs reports how many live ownership transfers have completed.
+func (cl *Cluster) Handoffs() uint64 { return cl.handoffs.Load() }
+
+// Metrics sums the replicas' counters.
+func (cl *Cluster) Metrics() Metrics {
+	var sum Metrics
+	for _, c := range cl.replicas {
+		m := c.Metrics()
+		sum.MovesStarted += m.MovesStarted
+		sum.EventsForwarded += m.EventsForwarded
+		sum.EventsBuffered += m.EventsBuffered
+		sum.ChunksMoved += m.ChunksMoved
+		sum.BytesMoved += m.BytesMoved
+	}
+	return sum
+}
+
+// Close stops the accept loop and every replica.
+func (cl *Cluster) Close() {
+	if !cl.closed.CompareAndSwap(false, true) {
+		return
+	}
+	cl.mu.Lock()
+	l := cl.listener
+	cl.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range cl.replicas {
+		c.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Directory.
+
+// vnodesPerReplica is the number of consistent-hash ring points per replica;
+// enough for an even spread at small replica counts without making the ring
+// search measurable.
+const vnodesPerReplica = 64
+
+// directory maps middlebox names to replica indices: a consistent-hash ring
+// (so growing the replica set moves only ~1/N of the names) overlaid with
+// explicit assignments recording live handoffs.
+type directory struct {
+	points []ringPoint // sorted by hash
+
+	mu        sync.Mutex
+	overrides map[string]int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+func newDirectory(replicas int) *directory {
+	d := &directory{overrides: map[string]int{}}
+	for r := 0; r < replicas; r++ {
+		for v := 0; v < vnodesPerReplica; v++ {
+			d.points = append(d.points, ringPoint{
+				hash:    ringHash(fmt.Sprintf("replica-%d/%d", r, v)),
+				replica: r,
+			})
+		}
+	}
+	sort.Slice(d.points, func(i, j int) bool { return d.points[i].hash < d.points[j].hash })
+	return d
+}
+
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	// Without the finisher, FNV of short similar names ("src0", "src1",
+	// ...) lands on nearby ring positions and whole MB pools pile onto
+	// one replica; see mix64.
+	return mix64(f.Sum64())
+}
+
+// owner resolves a middlebox name to its replica: an explicit assignment if
+// a handoff recorded one, else the first ring point at or after the name's
+// hash (wrapping).
+func (d *directory) owner(name string) int {
+	d.mu.Lock()
+	r, ok := d.overrides[name]
+	d.mu.Unlock()
+	if ok {
+		return r
+	}
+	h := ringHash(name)
+	i := sort.Search(len(d.points), func(i int) bool { return d.points[i].hash >= h })
+	if i == len(d.points) {
+		i = 0
+	}
+	return d.points[i].replica
+}
+
+// assign records a handoff's new ownership.
+func (d *directory) assign(name string, replica int) {
+	d.mu.Lock()
+	d.overrides[name] = replica
+	d.mu.Unlock()
+}

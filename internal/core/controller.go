@@ -118,11 +118,26 @@ type Controller struct {
 
 	mu  sync.Mutex
 	mbs map[string]*mbConn
-	// waiters are woken when a new MB registers.
-	waiters []chan struct{}
+
+	// waiters blocks WaitForMB callers per name. It rides its own small
+	// lock rather than mu: a registration storm (many MBs connecting,
+	// many callers waiting) otherwise serializes waiter churn against
+	// every connection-table access. The no-lost-wakeup protocol is
+	// strictly ordered: WaitForMB inserts its waiter under waitMu and
+	// only then checks mbs; registration inserts into mbs and only then
+	// drains waiters — whichever runs second sees the other's write.
+	waitMu  sync.Mutex
+	waiters map[string][]chan struct{}
 
 	introMu   sync.Mutex
 	introSubs []func(mb string, ev *sbi.Event)
+
+	// clustered marks this controller as a replica of a multi-replica
+	// Cluster (set once, before Serve). Connections owned by a lone
+	// controller — or a replicas=1 cluster — can never be handed off, so
+	// their routing paths skip the handoff freeze lock entirely and run
+	// the exact pre-cluster fast path.
+	clustered bool
 
 	txnWG sync.WaitGroup
 
@@ -139,7 +154,7 @@ type Controller struct {
 // NewController creates a controller with the given options.
 func NewController(opts Options) *Controller {
 	opts.setDefaults()
-	c := &Controller{opts: opts, mbs: map[string]*mbConn{}}
+	c := &Controller{opts: opts, mbs: map[string]*mbConn{}, waiters: map[string][]chan struct{}{}}
 	c.router = newTxnRouter(opts.Shards)
 	c.completer = newCompleter(c)
 	return c
@@ -206,6 +221,15 @@ func (c *Controller) handleConn(conn *sbi.Conn) {
 		conn.Close()
 		return
 	}
+	c.serveMB(conn, hello)
+}
+
+// serveMB upgrades the connection to the hello's codec, registers the
+// middlebox, and runs its read loop until disconnect. The single-controller
+// accept path calls it after receiving the hello itself; a Cluster receives
+// the hello in its own accept loop (to consult the directory) and hands the
+// connection to the owning replica here.
+func (c *Controller) serveMB(conn *sbi.Conn, hello *sbi.Message) {
 	// The hello (always JSON) may announce a faster codec for everything
 	// after it; the controller's side of the connection follows suit.
 	if err := conn.Upgrade(hello.Codec); err != nil {
@@ -213,34 +237,54 @@ func (c *Controller) handleConn(conn *sbi.Conn) {
 		conn.Close()
 		return
 	}
-	mb := &mbConn{
-		name: hello.Name, kind: hello.Kind,
-		conn: conn, ctrl: c,
-		pending: map[uint64]*call{},
-	}
-	c.mu.Lock()
-	if _, dup := c.mbs[mb.name]; dup {
-		c.mu.Unlock()
+	mb := newMBConn(hello.Name, hello.Kind, conn, c)
+	if !c.register(mb) {
 		conn.Close()
 		return
 	}
+	err := mb.readLoop()
+	// The MB disconnected: fail outstanding calls with the reason, drop
+	// its routing state, and deregister — from whichever replica owns it
+	// now. The handoff read-lock serializes this cleanup against a
+	// concurrent ownership transfer, so the purge and the deregistration
+	// hit the same controller and a transfer can never resurrect state
+	// for a connection that is already gone.
+	mb.failAll(fmt.Errorf("middlebox disconnected: %w", err))
+	mb.routingLock()
+	cur := mb.controller()
+	cur.router.purgeMB(mb)
+	cur.mu.Lock()
+	if cur.mbs[mb.name] == mb {
+		delete(cur.mbs, mb.name)
+	}
+	cur.mu.Unlock()
+	mb.routingUnlock()
+}
+
+// register adds mb to the connection table and wakes its name's waiters;
+// it reports false on a duplicate name.
+func (c *Controller) register(mb *mbConn) bool {
+	c.mu.Lock()
+	if _, dup := c.mbs[mb.name]; dup {
+		c.mu.Unlock()
+		return false
+	}
 	c.mbs[mb.name] = mb
-	waiters := c.waiters
-	c.waiters = nil
 	c.mu.Unlock()
+	c.wakeWaiters(mb.name)
+	return true
+}
+
+// wakeWaiters releases every WaitForMB call blocked on name. Called after
+// the mbs insert, per the waiter-ordering protocol (see the waiters field).
+func (c *Controller) wakeWaiters(name string) {
+	c.waitMu.Lock()
+	waiters := c.waiters[name]
+	delete(c.waiters, name)
+	c.waitMu.Unlock()
 	for _, w := range waiters {
 		close(w)
 	}
-	err = mb.readLoop()
-	// The MB disconnected: fail outstanding calls with the reason, drop
-	// its routing state, and deregister.
-	mb.failAll(fmt.Errorf("middlebox disconnected: %w", err))
-	c.router.purgeMB(mb)
-	c.mu.Lock()
-	if c.mbs[mb.name] == mb {
-		delete(c.mbs, mb.name)
-	}
-	c.mu.Unlock()
 }
 
 // Addr returns the listener's address (useful with ":0" listens), or ""
@@ -255,30 +299,66 @@ func (c *Controller) Addr() string {
 }
 
 // WaitForMB blocks until a middlebox named name has registered, or the
-// timeout elapses.
+// timeout elapses. Waiters are keyed by name, so a registration wakes only
+// the callers waiting for that middlebox.
 func (c *Controller) WaitForMB(name string, timeout time.Duration) error {
+	// Fast path: already registered — no waiter-registry traffic. (The
+	// Cluster polls this in short slices, so the common case must stay
+	// allocation-free.)
+	c.mu.Lock()
+	_, ok := c.mbs[name]
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
 	deadline := time.Now().Add(timeout)
 	for {
+		// Insert the waiter BEFORE re-checking the table: if the MB
+		// registers between the check and the wait, its wake drains the
+		// already-inserted waiter (registration inserts into mbs first,
+		// then wakes — the mirrored order).
+		w := make(chan struct{})
+		c.waitMu.Lock()
+		c.waiters[name] = append(c.waiters[name], w)
+		c.waitMu.Unlock()
 		c.mu.Lock()
 		_, ok := c.mbs[name]
-		var w chan struct{}
-		if !ok {
-			w = make(chan struct{})
-			c.waiters = append(c.waiters, w)
-		}
 		c.mu.Unlock()
 		if ok {
+			c.dropWaiter(name, w)
 			return nil
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
+			c.dropWaiter(name, w)
 			return fmt.Errorf("core: middlebox %q did not register", name)
 		}
 		select {
 		case <-w:
+			// Woken by a registration of this name; loop re-checks (the
+			// MB may already have disconnected again).
 		case <-time.After(remain):
+			c.dropWaiter(name, w)
 			return fmt.Errorf("core: middlebox %q did not register", name)
 		}
+	}
+}
+
+// dropWaiter removes one waiter channel without waking it, so abandoned
+// waits (timeouts, immediate hits) do not accumulate under the name.
+func (c *Controller) dropWaiter(name string, w chan struct{}) {
+	c.waitMu.Lock()
+	defer c.waitMu.Unlock()
+	ws := c.waiters[name]
+	for i := range ws {
+		if ws[i] == w {
+			ws[i] = ws[len(ws)-1]
+			c.waiters[name] = ws[:len(ws)-1]
+			break
+		}
+	}
+	if len(c.waiters[name]) == 0 {
+		delete(c.waiters, name)
 	}
 }
 
@@ -325,7 +405,11 @@ func (c *Controller) SetEventFilterFor(mbName, codePrefix string, m packet.Field
 	if err != nil {
 		return err
 	}
-	_, err = mb.call(&sbi.Message{
+	return c.setEventFilterConn(mb, codePrefix, m, enable, ttl)
+}
+
+func (c *Controller) setEventFilterConn(mb *mbConn, codePrefix string, m packet.FieldMatch, enable bool, ttl time.Duration) error {
+	_, err := mb.call(&sbi.Message{
 		Type: sbi.MsgRequest, Op: sbi.OpSetEventFilter,
 		Path: codePrefix, Match: m, Enable: enable, TTLNanos: int64(ttl),
 	}, c.opts.CallTimeout)
@@ -402,7 +486,28 @@ type mbConn struct {
 	name string
 	kind string
 	conn *sbi.Conn
-	ctrl *Controller
+
+	// ctrl is the controller (cluster replica) that currently owns this
+	// connection's routing state. A handoff retargets it; everything that
+	// routes through the owner resolves it via controller() under
+	// handoffMu, so a single-replica deployment pays one atomic load and
+	// one uncontended read-lock on the event path.
+	ctrl atomic.Pointer[Controller]
+
+	// handoffMu freezes the connection's flowspace during an ownership
+	// transfer. Every router access on behalf of this MB — event routing,
+	// chunk registration, put ACKs, detach, disconnect purge — holds it
+	// for read (via routingLock); Cluster handoff holds it for write while
+	// it moves the routing state between replicas and swaps ctrl. Events
+	// arriving during the freeze block in order on the connection's read
+	// loop (the replica-scope analogue of a move's buffer-until-ACK
+	// window) and drain against the new owner the moment the transfer
+	// completes.
+	handoffMu sync.RWMutex
+	// noHandoff (immutable after construction) marks connections owned by
+	// an un-clustered controller: no handoff can ever target them, so the
+	// routing paths skip handoffMu.
+	noHandoff bool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -417,6 +522,36 @@ type mbConn struct {
 	// liveTxns counts transactions with this MB as their source; when it
 	// drops to zero the router discards the MB's orphaned events.
 	liveTxns atomic.Int64
+}
+
+// newMBConn builds the controller's view of one middlebox connection, owned
+// by c until a handoff moves it.
+func newMBConn(name, kind string, conn *sbi.Conn, c *Controller) *mbConn {
+	mb := &mbConn{
+		name: name, kind: kind, conn: conn,
+		pending:   map[uint64]*call{},
+		noHandoff: !c.clustered,
+	}
+	mb.ctrl.Store(c)
+	return mb
+}
+
+// controller returns the replica that currently owns this connection.
+func (mb *mbConn) controller() *Controller { return mb.ctrl.Load() }
+
+// routingLock/routingUnlock take the connection's handoff freeze lock for
+// read around one router operation. Un-clustered connections skip it: their
+// owner can never change, so the pre-cluster fast path stays intact.
+func (mb *mbConn) routingLock() {
+	if !mb.noHandoff {
+		mb.handoffMu.RLock()
+	}
+}
+
+func (mb *mbConn) routingUnlock() {
+	if !mb.noHandoff {
+		mb.handoffMu.RUnlock()
+	}
 }
 
 // call is one outstanding request. Streaming responses (get chunks) are
@@ -542,7 +677,7 @@ func (mb *mbConn) readLoop() error {
 		}
 		switch m.Type {
 		case sbi.MsgEvent:
-			mb.ctrl.routeEvent(mb, m.Event)
+			mb.routeEvent(m.Event)
 		case sbi.MsgChunk, sbi.MsgDone, sbi.MsgError:
 			mb.mu.Lock()
 			cl := mb.pending[m.ID]

@@ -209,13 +209,13 @@ func TestMoveAtomicityUnderTraffic(t *testing.T) {
 	// The "routing change": traffic to the source stops.
 	close(stop)
 	wg.Wait()
-	if !r.srcRT.Drain(2 * time.Second) {
+	if !r.srcRT.Drain(10 * time.Second) {
 		t.Fatal("source did not drain")
 	}
 	if !r.ctrl.WaitTxns(10 * time.Second) {
 		t.Fatal("transactions did not complete")
 	}
-	if !r.dstRT.Drain(2 * time.Second) {
+	if !r.dstRT.Drain(10 * time.Second) {
 		t.Fatal("destination did not drain replays")
 	}
 
@@ -417,7 +417,7 @@ func TestShardEquivalence(t *testing.T) {
 		}
 		close(stop)
 		wg.Wait()
-		if !r.srcRT.Drain(2*time.Second) || !r.ctrl.WaitTxns(10*time.Second) || !r.dstRT.Drain(2*time.Second) {
+		if !r.srcRT.Drain(10*time.Second) || !r.ctrl.WaitTxns(10*time.Second) || !r.dstRT.Drain(10*time.Second) {
 			t.Fatal("scenario did not settle")
 		}
 		if r.src.Flows() != 0 {
@@ -495,7 +495,7 @@ func TestConcurrentMovesManyKeys(t *testing.T) {
 		}
 	}
 	for i := 0; i < pairs; i++ {
-		if !rts[2*i].Drain(2 * time.Second) {
+		if !rts[2*i].Drain(10 * time.Second) {
 			t.Fatalf("source %d did not drain", i)
 		}
 	}
@@ -503,7 +503,7 @@ func TestConcurrentMovesManyKeys(t *testing.T) {
 		t.Fatal("transactions did not complete")
 	}
 	for i := 0; i < pairs; i++ {
-		if !rts[2*i+1].Drain(2 * time.Second) {
+		if !rts[2*i+1].Drain(10 * time.Second) {
 			t.Fatalf("destination %d did not drain replays", i)
 		}
 		want := uint64(flows + sent[i])

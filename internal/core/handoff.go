@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"openmb/internal/sbi"
+)
+
+// This file implements the cluster's live ownership-transfer (handoff)
+// protocol: moving a middlebox — its connection and every piece of routing
+// state the owning replica holds for it — to another replica without
+// dropping, duplicating, or reordering a single event, even while moves
+// from or to that middlebox are in flight.
+//
+// The mechanism is the paper's per-flow move discipline lifted one layer
+// up. A move freezes a flow's event stream behind its put (buffer until
+// ACK); a handoff freezes the whole flowspace of one MB behind the
+// transfer:
+//
+//  1. FREEZE — take the connection's handoff write-lock. Every router
+//     access on behalf of this MB (event routing from its read loop, chunk
+//     registration, put ACKs, detach, disconnect purge) holds the read
+//     side, so acquiring the write side waits for in-flight operations —
+//     including a mid-flight ordered buffer drain — to finish, and blocks
+//     new ones in arrival order.
+//  2. TRANSFER — export the old replica's router entries for the MB (key
+//     states with their unacknowledged put counts and buffered events,
+//     plus orphans) as an sbi.OpTransferOwnership payload, and import it
+//     into the new replica's router. Transactions stay alive on the
+//     replica that started them; only their routing state moves. The SBI
+//     message is the canonical serialized form — a cross-process cluster
+//     would put it on the wire; in-process the live transaction pointers
+//     ride a transfer table alongside (sbi.HandoffKey.Txn indexes it).
+//  3. SWITCH & REPLAY — retarget the connection's owner pointer, move the
+//     registration between the replicas' tables, record the new ownership
+//     in the directory, and release the lock. Blocked events resume in
+//     order against the new owner's router; transferred buffers drain
+//     through the new owner's ACK path exactly as they would have on the
+//     old one.
+//
+// Loss-freedom and order preservation follow from two facts: an MB's
+// events are delivered by a single read-loop goroutine (so blocking the
+// routing step cannot reorder them), and under the write-lock there are no
+// in-flight router operations (so the export is a complete snapshot).
+
+// Rebalance moves the named middlebox to the given replica, live. It is
+// safe to call while transactions involving the middlebox are in flight;
+// the freeze window is the in-memory state transfer, microseconds in
+// practice. Rebalancing onto the current owner is a no-op.
+func (cl *Cluster) Rebalance(mbName string, target int) error {
+	if target < 0 || target >= len(cl.replicas) {
+		return fmt.Errorf("core: rebalance %q: no replica %d", mbName, target)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	from, mb, err := cl.find(mbName)
+	if err != nil {
+		return err
+	}
+	to := cl.replicas[target]
+	if from == to {
+		cl.dir.assign(mbName, target)
+		return nil
+	}
+
+	// FREEZE: wait out in-flight router operations, block new ones.
+	mb.handoffMu.Lock()
+	defer mb.handoffMu.Unlock()
+	if mb.controller() != from {
+		// The MB disconnected (and possibly reconnected elsewhere)
+		// between find and the freeze; its cleanup won the race.
+		return fmt.Errorf("core: rebalance %q: ownership changed mid-freeze", mbName)
+	}
+	from.mu.Lock()
+	stillOwned := from.mbs[mbName] == mb
+	from.mu.Unlock()
+	if !stillOwned {
+		return fmt.Errorf("core: rebalance %q: disconnected mid-freeze", mbName)
+	}
+
+	// TRANSFER: old router -> ownership-transfer payload -> new router.
+	h, txns := from.router.exportHandoff(mb)
+	if err := to.router.importHandoff(mb, h, txns); err != nil {
+		// Unreachable for a locally built payload (export produces a
+		// consistent table); restore rather than strand the state.
+		_ = from.router.importHandoff(mb, h, txns)
+		return err
+	}
+
+	// SWITCH, ordered so the directory never names a replica whose table
+	// lacks the middlebox: insert at the target, repoint the directory,
+	// only then remove from the old owner. A connection announcing the
+	// same name mid-switch is therefore always routed to a replica that
+	// still holds it and rejected as a duplicate — deleting first would
+	// open a window where a second live connection registers under the
+	// name. find() may briefly see both entries; owner-first resolution
+	// returns the right one.
+	to.mu.Lock()
+	if _, dup := to.mbs[mbName]; dup {
+		to.mu.Unlock()
+		// Pull the just-imported state back to the old owner before
+		// aborting, so nothing is stranded on a replica that will never
+		// own the connection.
+		restored, rtxns := to.router.exportHandoff(mb)
+		_ = from.router.importHandoff(mb, restored, rtxns)
+		return fmt.Errorf("core: rebalance %q: name already registered at replica %d", mbName, target)
+	}
+	to.mbs[mbName] = mb
+	to.mu.Unlock()
+	mb.ctrl.Store(to)
+	cl.dir.assign(mbName, target)
+	to.wakeWaiters(mbName)
+	from.mu.Lock()
+	delete(from.mbs, mbName)
+	from.mu.Unlock()
+	cl.handoffs.Add(1)
+	return nil
+}
+
+// Drain hands every middlebox off the given replica to the other replicas,
+// round-robin — the scale-down / maintenance path. The replica keeps
+// finishing transactions it started; it just stops owning connections.
+func (cl *Cluster) Drain(replica int) error {
+	if replica < 0 || replica >= len(cl.replicas) {
+		return fmt.Errorf("core: drain: no replica %d", replica)
+	}
+	if len(cl.replicas) == 1 {
+		return fmt.Errorf("core: drain: cannot drain the only replica")
+	}
+	names := cl.replicas[replica].Middleboxes()
+	next := 0
+	for _, name := range names {
+		if next == replica {
+			next = (next + 1) % len(cl.replicas)
+		}
+		if err := cl.Rebalance(name, next); err != nil {
+			return err
+		}
+		next = (next + 1) % len(cl.replicas)
+	}
+	return nil
+}
+
+// handoffMessage renders an export as the full SBI request frame — the form
+// a cross-process cluster would put on the wire. Exposed for the codec
+// round-trip tests, which prove both codecs carry a live handoff intact.
+func handoffMessage(h *sbi.Handoff) *sbi.Message {
+	return &sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpTransferOwnership, Handoff: h}
+}

@@ -9,6 +9,12 @@ import (
 	"openmb/internal/state"
 )
 
+// The public name-based operations resolve the middlebox in this
+// controller's table and delegate to conn-level helpers. The Cluster
+// resolves names cluster-wide (a concurrent handoff may move a middlebox
+// between replicas mid-call) and invokes the conn-level helpers directly,
+// so an operation can never fail on a re-lookup of a name that just moved.
+
 // ReadConfig implements the northbound readConfig(SrcMB, HierarchicalKey):
 // it returns the configuration leaves under path ("*" or "" for all).
 func (c *Controller) ReadConfig(mbName, path string) ([]state.Entry, error) {
@@ -16,6 +22,10 @@ func (c *Controller) ReadConfig(mbName, path string) ([]state.Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.readConfigConn(mb, path)
+}
+
+func (c *Controller) readConfigConn(mb *mbConn, path string) ([]state.Entry, error) {
 	m, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpGetConfig, Path: path}, c.opts.CallTimeout)
 	if err != nil {
 		return nil, err
@@ -29,7 +39,11 @@ func (c *Controller) WriteConfig(mbName, path string, values []string) error {
 	if err != nil {
 		return err
 	}
-	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: path, Values: values}, c.opts.CallTimeout)
+	return c.writeConfigConn(mb, path, values)
+}
+
+func (c *Controller) writeConfigConn(mb *mbConn, path string, values []string) error {
+	_, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: path, Values: values}, c.opts.CallTimeout)
 	return err
 }
 
@@ -41,7 +55,11 @@ func (c *Controller) WriteConfigAll(mbName string, entries []state.Entry) error 
 	if err != nil {
 		return err
 	}
-	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: "*", Entries: entries}, c.opts.CallTimeout)
+	return c.writeConfigAllConn(mb, entries)
+}
+
+func (c *Controller) writeConfigAllConn(mb *mbConn, entries []state.Entry) error {
+	_, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpSetConfig, Path: "*", Entries: entries}, c.opts.CallTimeout)
 	return err
 }
 
@@ -51,7 +69,11 @@ func (c *Controller) DelConfig(mbName, path string) error {
 	if err != nil {
 		return err
 	}
-	_, err = mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelConfig, Path: path}, c.opts.CallTimeout)
+	return c.delConfigConn(mb, path)
+}
+
+func (c *Controller) delConfigConn(mb *mbConn, path string) error {
+	_, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelConfig, Path: path}, c.opts.CallTimeout)
 	return err
 }
 
@@ -72,12 +94,16 @@ func (c *Controller) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, 
 	if err != nil {
 		return sbi.StatsReply{}, err
 	}
+	return c.statsConn(mb, m)
+}
+
+func (c *Controller) statsConn(mb *mbConn, m packet.FieldMatch) (sbi.StatsReply, error) {
 	reply, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpStats, Match: m}, c.opts.CallTimeout)
 	if err != nil {
 		return sbi.StatsReply{}, err
 	}
 	if reply.Stats == nil {
-		return sbi.StatsReply{}, fmt.Errorf("core: %s returned no stats", mbName)
+		return sbi.StatsReply{}, fmt.Errorf("core: %s returned no stats", mb.name)
 	}
 	return *reply.Stats, nil
 }
@@ -149,6 +175,15 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 	if err != nil {
 		return err
 	}
+	return c.moveConns(src, dst, m)
+}
+
+// moveConns is MoveInternal on resolved connections. The Cluster calls it
+// directly for cross-partition moves: the endpoints may be registered with
+// other replicas, but the transaction (completer, metrics, WaitTxns
+// accounting) runs here while routing state follows the source connection's
+// current owner (see txn.registerChunk).
+func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 	c.movesStarted.Add(1)
 	t := newTxn(c, src, dst)
 
@@ -308,6 +343,12 @@ func (c *Controller) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op
 	if err != nil {
 		return err
 	}
+	return c.sharedTransferConns(src, dst, getOps, putOps)
+}
+
+// sharedTransferConns is sharedTransfer on resolved connections (the
+// cluster's cross-partition path, mirroring moveConns).
+func (c *Controller) sharedTransferConns(src, dst *mbConn, getOps, putOps []sbi.Op) error {
 	t := newTxn(c, src, dst)
 	for i, getOp := range getOps {
 		t.registerShared()

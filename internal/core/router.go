@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"openmb/internal/packet"
@@ -77,16 +78,25 @@ func newTxnRouter(shards int) *txnRouter {
 	return r
 }
 
-func (r *txnRouter) shard(key packet.FlowKey) *routerShard {
-	// FNV's low bits disperse poorly under a power-of-two mask (similar
-	// flows differ in few input bytes), so finish with a splitmix-style
-	// avalanche. It is a pure function of FastHash, so the symmetry
-	// property (k and k.Reverse() share a shard) is preserved.
-	h := key.FastHash()
+// mix64 is a splitmix-style avalanche finisher: FNV-family hashes of
+// similar short inputs (flow keys differing in few bytes, names like
+// "src0"/"src1") differ by small multiples of the prime, which disperses
+// poorly under a power-of-two mask or onto a hash ring. Both the router's
+// shard selection and the cluster directory's ring placement finish with
+// it.
+func mix64(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
-	return &r.shards[h&r.mask]
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (r *txnRouter) shard(key packet.FlowKey) *routerShard {
+	// mix64 is a pure function of FastHash, so the symmetry property
+	// (k and k.Reverse() share a shard) is preserved.
+	return &r.shards[mix64(key.FastHash())&r.mask]
 }
 
 // register records t as the owner of key on t.src with one more outstanding
@@ -259,20 +269,99 @@ func forwardEvents(c *Controller, dst *mbConn, evs []*sbi.Event) {
 	}
 }
 
-// routeEvent dispatches an MB-raised event: introspection events go to
-// subscribers; reprocess events go to the sharded transaction router.
-func (c *Controller) routeEvent(src *mbConn, ev *sbi.Event) {
+// routeEvent dispatches an MB-raised event: introspection events go to the
+// owning replica's subscribers; reprocess events go to that replica's
+// sharded transaction router. The handoff read-lock pins the owner for the
+// duration of the route — during an ownership transfer the connection's
+// read loop blocks here (in arrival order) and resumes against the new
+// owner's router, which is exactly the freeze-transfer-replay discipline.
+func (mb *mbConn) routeEvent(ev *sbi.Event) {
 	if ev == nil {
 		return
 	}
 	if ev.Kind == sbi.EventIntrospection {
-		c.introMu.Lock()
-		subs := append([]func(string, *sbi.Event){}, c.introSubs...)
-		c.introMu.Unlock()
-		for _, fn := range subs {
-			fn(src.name, ev)
-		}
+		mb.controller().notifyIntrospection(mb.name, ev)
 		return
 	}
-	c.router.route(src, ev)
+	mb.routingLock()
+	mb.controller().router.route(mb, ev)
+	mb.routingUnlock()
+}
+
+// notifyIntrospection fans one introspection event out to subscribers.
+func (c *Controller) notifyIntrospection(mbName string, ev *sbi.Event) {
+	c.introMu.Lock()
+	subs := append([]func(string, *sbi.Event){}, c.introSubs...)
+	c.introMu.Unlock()
+	for _, fn := range subs {
+		fn(mbName, ev)
+	}
+}
+
+// exportHandoff freezes nothing itself — the caller holds mb's handoff
+// write-lock — but removes and returns every routing entry the router holds
+// for mb: in-transaction key states and orphaned events, rendered as the
+// SBI ownership-transfer payload plus the transfer table resolving its
+// transaction indices to live transactions. With the write-lock held no
+// route/register/ACK/drain can be in flight, so pending counts and buffers
+// are exact and no key can be flushing.
+func (r *txnRouter) exportHandoff(mb *mbConn) (*sbi.Handoff, []*txn) {
+	h := &sbi.Handoff{MB: mb.name}
+	var txns []*txn
+	index := map[*txn]uint64{}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for rk, ks := range sh.keys {
+			if rk.mb != mb {
+				continue
+			}
+			ti, ok := index[ks.owner]
+			if !ok {
+				txns = append(txns, ks.owner)
+				ti = uint64(len(txns))
+				index[ks.owner] = ti
+			}
+			h.Keys = append(h.Keys, sbi.HandoffKey{
+				Key: rk.key, Txn: ti, Pending: ks.pending, Events: ks.buffered,
+			})
+			delete(sh.keys, rk)
+		}
+		for rk, evs := range sh.orphans {
+			if rk.mb != mb {
+				continue
+			}
+			h.Keys = append(h.Keys, sbi.HandoffKey{Key: rk.key, Events: evs})
+			delete(sh.orphans, rk)
+		}
+		sh.mu.Unlock()
+	}
+	return h, txns
+}
+
+// importHandoff installs a transferred flowspace into this router. txns is
+// the sender's transfer table; the caller still holds mb's handoff
+// write-lock, so the entries become visible atomically with the ownership
+// swap. Shard counts may differ between replicas — each router hashes the
+// keys into its own shards.
+func (r *txnRouter) importHandoff(mb *mbConn, h *sbi.Handoff, txns []*txn) error {
+	for i := range h.Keys {
+		hk := &h.Keys[i]
+		if hk.Txn > uint64(len(txns)) {
+			return fmt.Errorf("core: handoff for %q references transaction %d of %d", h.MB, hk.Txn, len(txns))
+		}
+	}
+	for i := range h.Keys {
+		hk := &h.Keys[i]
+		rk := routeKey{mb: mb, key: hk.Key}
+		sh := r.shard(hk.Key)
+		sh.mu.Lock()
+		if hk.Txn == 0 {
+			sh.orphans[rk] = append(sh.orphans[rk], hk.Events...)
+		} else {
+			sh.keys[rk] = &keyState{owner: txns[hk.Txn-1], pending: hk.Pending, buffered: hk.Events}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }

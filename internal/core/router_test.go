@@ -39,7 +39,7 @@ func newHeldTestPeer(t *testing.T, c *Controller, name string) (*testPeer, func(
 	t.Helper()
 	ctrlSide, mbSide := net.Pipe()
 	p := &testPeer{
-		mb:   &mbConn{name: name, conn: sbi.NewConn(ctrlSide), ctrl: c, pending: map[uint64]*call{}},
+		mb:   newMBConn(name, "", sbi.NewConn(ctrlSide), c),
 		recv: make(chan *sbi.Message, 256),
 	}
 	peer := sbi.NewConn(mbSide)

@@ -70,10 +70,25 @@ func (t *txn) quietAt(d time.Duration) int64 { return t.lastEvent.Load() + int64
 // orphaned events that raced ahead of the chunk. Called from the source's
 // read loop, before the chunk is delivered to the move consumer, so event
 // routing can never miss the registration.
-func (t *txn) registerChunk(key packet.FlowKey) { t.ctrl.router.register(t, key) }
+//
+// Routing state lives with whichever cluster replica currently owns the
+// source connection (not necessarily t.ctrl, the replica that started the
+// transaction): the handoff read-lock pins the owner for the duration of
+// the router call, so a concurrent ownership transfer either sees this
+// registration in the state it exports or happens entirely after it.
+func (t *txn) registerChunk(key packet.FlowKey) {
+	t.src.routingLock()
+	t.src.controller().router.register(t, key)
+	t.src.routingUnlock()
+}
 
-// ackPut marks one put for key acknowledged; see txnRouter.ackPut.
-func (t *txn) ackPut(key packet.FlowKey) { t.ctrl.router.ackPut(t, key) }
+// ackPut marks one put for key acknowledged; see txnRouter.ackPut. Owner
+// resolution follows registerChunk.
+func (t *txn) ackPut(key packet.FlowKey) {
+	t.src.routingLock()
+	t.src.controller().router.ackPut(t, key)
+	t.src.routingUnlock()
+}
 
 // noteKey remembers a registered key for detach.
 func (t *txn) noteKey(key packet.FlowKey) {
@@ -215,7 +230,9 @@ func (t *txn) handleSharedEvent(ev *sbi.Event) {
 	forwardEvents(t.ctrl, t.dst, []*sbi.Event{ev})
 }
 
-// detach removes the txn from the router's routing tables. Idempotent.
+// detach removes the txn from the routing tables of the replica that
+// currently owns the source connection (handoffs move all of a source's
+// entries together, so one router holds them all). Idempotent.
 func (t *txn) detach() {
 	t.mu.Lock()
 	if t.detached {
@@ -224,5 +241,7 @@ func (t *txn) detach() {
 	}
 	t.detached = true
 	t.mu.Unlock()
-	t.ctrl.router.detach(t)
+	t.src.routingLock()
+	t.src.controller().router.detach(t)
+	t.src.routingUnlock()
 }

@@ -152,6 +152,23 @@ func TestFigure10bRuns(t *testing.T) {
 	}
 }
 
+func TestRebalanceUnderLoadRuns(t *testing.T) {
+	tbl := mustRun(t, func() (*Table, error) {
+		return RebalanceUnderLoad(RebalanceConfig{Pairs: 2, Chunks: 300, Replicas: []int{1, 3}, Handoffs: 2})
+	})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// The ablation row performs no handoffs; the replicated row must have
+	// performed at least one (the scenario itself asserts loss-freedom).
+	if got := cell(t, tbl, 0, 3); got != "0" {
+		t.Fatalf("replicas=1 performed handoffs: %s", got)
+	}
+	if got := atoi(t, cell(t, tbl, 1, 3)); got < 1 {
+		t.Fatalf("replicas=3 performed no handoffs")
+	}
+}
+
 func TestSnapshotComparisonShape(t *testing.T) {
 	tbl := mustRun(t, func() (*Table, error) { return SnapshotComparison(60, 40) })
 	full := atoi(t, cell(t, tbl, 1, 1))

@@ -226,6 +226,17 @@ func (rt *Runtime) process(ctx *Context, p *packet.Packet, replay, replayShared 
 	rt.maybeRaiseReprocess(ctx, p)
 }
 
+// eventBufPool recycles the per-event packet encode buffer. A move window
+// raises one reprocess event per in-transaction packet, and each used to
+// pay a fresh p.Marshal(nil) allocation sized to the packet — the dominant
+// per-event cost the Figure 9(c)/(d) experiments measure. sendEvent encodes
+// the frame synchronously (both codecs copy the payload into their own
+// write buffers before Send returns), so the buffer can be recycled the
+// moment the event is sent.
+var eventBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
 // maybeRaiseReprocess implements step 2 of §4.2.1: if the packet updated
 // state that is part of an in-progress move or clone (decided at Touch time,
 // under the logic's lock), send a reprocess event with a copy of the packet
@@ -241,14 +252,19 @@ func (rt *Runtime) maybeRaiseReprocess(ctx *Context, p *packet.Packet) {
 		key = p.Flow()
 	}
 	rt.eventsRaised.Add(1)
+	bp := eventBufPool.Get().(*[]byte)
+	buf := p.Marshal((*bp)[:0])
 	rt.sendEvent(&sbi.Event{
 		Kind:   sbi.EventReprocess,
 		Key:    key,
 		Class:  ctx.raiseClass,
 		Shared: ctx.raiseShared,
-		Packet: p.Marshal(nil),
+		Packet: buf,
 		Seq:    rt.eventSeq.Add(1),
 	})
+	// Keep whatever capacity Marshal grew the buffer to.
+	*bp = buf[:0]
+	eventBufPool.Put(bp)
 }
 
 func (rt *Runtime) raiseIntrospection(code string, key packet.FlowKey, values map[string]string) {

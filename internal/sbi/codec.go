@@ -132,11 +132,12 @@ const (
 	fStats
 	fEvent
 	fError
+	fHandoff
 )
 
 // knownFields masks every bit this implementation understands; frames with
 // other bits set are from a newer, incompatible binary protocol.
-const knownFields = fError<<1 - 1
+const knownFields = fHandoff<<1 - 1
 
 // Event-presence bits (one byte).
 const (
@@ -227,6 +228,15 @@ func (c *binaryCodec) encode(m *Message) error {
 	if m.Event != nil {
 		keysOK = keysOK && flowKeyBinaryOK(m.Event.Key)
 	}
+	if m.Handoff != nil {
+		for i := range m.Handoff.Keys {
+			hk := &m.Handoff.Keys[i]
+			keysOK = keysOK && flowKeyBinaryOK(hk.Key)
+			for _, ev := range hk.Events {
+				keysOK = keysOK && flowKeyBinaryOK(ev.Key)
+			}
+		}
+	}
 	if !keysOK {
 		encBufPool.Put(bp)
 		return errKeyNotBinary
@@ -290,6 +300,9 @@ func (c *binaryCodec) encode(m *Message) error {
 	}
 	if m.Error != "" {
 		flags |= fError
+	}
+	if m.Handoff != nil {
+		flags |= fHandoff
 	}
 	body = binary.BigEndian.AppendUint32(body, flags)
 	body = appendUvarint(body, m.ID)
@@ -364,6 +377,20 @@ func (c *binaryCodec) encode(m *Message) error {
 	}
 	if flags&fError != 0 {
 		body = appendString(body, m.Error)
+	}
+	if flags&fHandoff != 0 {
+		body = appendString(body, m.Handoff.MB)
+		body = appendUvarint(body, uint64(len(m.Handoff.Keys)))
+		for i := range m.Handoff.Keys {
+			hk := &m.Handoff.Keys[i]
+			body = hk.Key.AppendBinary(body)
+			body = appendUvarint(body, hk.Txn)
+			body = appendUvarint(body, uint64(hk.Pending))
+			body = appendUvarint(body, uint64(len(hk.Events)))
+			for _, ev := range hk.Events {
+				body = appendEvent(body, ev)
+			}
+		}
 	}
 
 	if len(body)-4 > maxBinaryFrame {
@@ -638,6 +665,33 @@ func (c *binaryCodec) decode() (*Message, error) {
 	}
 	if flags&fError != 0 {
 		m.Error = r.string("error")
+	}
+	if flags&fHandoff != 0 {
+		h := &Handoff{MB: r.string("handoff mb")}
+		n := r.uvarint("handoff keys")
+		if r.err == nil && n > uint64(len(body)/packet.FlowKeyWireSize)+1 {
+			return nil, fmt.Errorf("sbi: binary decode: handoff key count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			hk := HandoffKey{Key: r.flowKey("handoff key")}
+			hk.Txn = r.uvarint("handoff txn")
+			hk.Pending = int(r.uvarint("handoff pending"))
+			ne := r.uvarint("handoff events")
+			if r.err == nil && ne > uint64(len(body))+1 {
+				return nil, fmt.Errorf("sbi: binary decode: handoff event count %d exceeds frame", ne)
+			}
+			for j := uint64(0); j < ne && r.err == nil; j++ {
+				ev, err := decodeEvent(r)
+				if err != nil {
+					return nil, err
+				}
+				hk.Events = append(hk.Events, ev)
+			}
+			h.Keys = append(h.Keys, hk)
+		}
+		if r.err == nil {
+			m.Handoff = h
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

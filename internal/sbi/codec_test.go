@@ -79,6 +79,20 @@ func testMessages() []*Message {
 		}},
 		{Type: MsgEvent, Event: &Event{Kind: EventIntrospection, Seq: 1}}, // zero key
 		{Type: MsgError, ID: 20, Error: "mbox: unknown op \"frobnicate\""},
+		{Type: MsgRequest, ID: 21, Op: OpTransferOwnership, Handoff: &Handoff{
+			MB: "prads1",
+			Keys: []HandoffKey{
+				{Key: k, Txn: 1, Pending: 2, Events: []*Event{
+					{Kind: EventReprocess, Key: k, Seq: 7, Class: state.Supporting, Packet: []byte{1, 2, 3}},
+					{Kind: EventReprocess, Key: k, Seq: 8, Class: state.Supporting, Packet: []byte{4}},
+				}},
+				{Key: k2, Txn: 2}, // registered, nothing outstanding
+				{Key: k2, Events: []*Event{ // orphan record
+					{Kind: EventReprocess, Key: k2, Seq: 9, Packet: []byte{5, 6}},
+				}},
+			},
+		}},
+		{Type: MsgRequest, ID: 22, Op: OpTransferOwnership, Handoff: &Handoff{MB: "empty"}},
 	}
 }
 

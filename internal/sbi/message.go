@@ -59,6 +59,14 @@ const (
 	// merges, which must not delete state (§5: "no delete operation is
 	// called when events stop arriving").
 	OpEndTransaction Op = "endTransaction"
+
+	// OpTransferOwnership carries a controller-replica handoff: the frozen
+	// per-key routing state (outstanding put counts, buffered reprocess
+	// events, orphans) of one middlebox's flowspace, moving from the
+	// replica that owned it to the one taking over. It travels
+	// replica-to-replica, never controller-to-MB; see Message.Handoff and
+	// docs/SBI.md.
+	OpTransferOwnership Op = "transferOwnership"
 )
 
 // MsgType discriminates wire messages.
@@ -117,6 +125,37 @@ type Event struct {
 	// controller buffers them against the shared put instead of a
 	// per-key put.
 	Shared bool `json:"shared,omitempty"`
+}
+
+// Handoff is the ownership-transfer payload of OpTransferOwnership: the
+// frozen routing state one controller replica holds for a middlebox's
+// flowspace, serialized so another replica can take over mid-transaction.
+// Each record is one flow key's worth of the buffer-until-ACK machinery a
+// move maintains (§4.2.1), lifted to replica scope: how many puts are still
+// unacknowledged and which reprocess events wait behind them. Transaction
+// identity travels as an index into a transfer table the sender publishes
+// alongside the message (in-process: a slice of live transactions; a future
+// cross-process cluster would resolve it through a transaction registry).
+type Handoff struct {
+	// MB names the middlebox instance whose flowspace is moving.
+	MB string `json:"mb"`
+	// Keys holds one record per in-transaction flow key plus one per
+	// orphan key (events that arrived before their registering chunk).
+	Keys []HandoffKey `json:"keys,omitempty"`
+}
+
+// HandoffKey is one flow key's routing state inside a Handoff.
+type HandoffKey struct {
+	Key packet.FlowKey `json:"key"`
+	// Txn identifies the owning transaction in the sender's transfer
+	// table (1-based); 0 marks an orphan record — buffered events with no
+	// registered owner yet.
+	Txn uint64 `json:"txn,omitempty"`
+	// Pending is the key's unacknowledged put count.
+	Pending int `json:"pending,omitempty"`
+	// Events are the reprocess events buffered for the key (or the
+	// orphaned events, when Txn is 0), in arrival order.
+	Events []*Event `json:"events,omitempty"`
 }
 
 // StatsReply answers the northbound stats() call: how much shared and
@@ -181,6 +220,9 @@ type Message struct {
 
 	// Event payload (MsgEvent).
 	Event *Event `json:"event,omitempty"`
+
+	// Handoff payload (OpTransferOwnership requests).
+	Handoff *Handoff `json:"handoff,omitempty"`
 
 	// Error payload (MsgError).
 	Error string `json:"error,omitempty"`

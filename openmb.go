@@ -56,6 +56,20 @@ type ControllerOptions = core.Options
 // NewController creates an OpenMB controller.
 func NewController(opts ControllerOptions) *Controller { return core.NewController(opts) }
 
+// Cluster is a replicated OpenMB controller: N controller replicas behind
+// one listener, middleboxes partitioned across them by a consistent-hash
+// directory, cross-partition operations proxied, and live rebalance/drain
+// via the ownership-handoff protocol (docs/ARCHITECTURE.md).
+type Cluster = core.Cluster
+
+// ClusterOptions configures a controller cluster (replica count plus the
+// per-replica ControllerOptions).
+type ClusterOptions = core.ClusterOptions
+
+// NewCluster creates a controller cluster. Replicas = 1 reproduces the
+// single-controller path.
+func NewCluster(opts ClusterOptions) *Cluster { return core.NewCluster(opts) }
+
 // Runtime hosts one middlebox instance and implements its southbound API.
 type Runtime = mbox.Runtime
 
