@@ -77,23 +77,38 @@ func BenchmarkFigure9bPutPerflow(b *testing.B) {
 	})
 }
 
+// reportWireStats attaches the accumulated frames-per-flush ratio of the
+// experiment's southbound connections as a custom metric, so the coalesced
+// wire path's effectiveness lands in bench output (and BENCH_*.json) next
+// to ns/op. The OPENMB_COALESCE=off ablation pins it at 1.
+func reportWireStats(b *testing.B) {
+	b.Helper()
+	if frames, flushes := eval.TakeWireStats(); flushes > 0 {
+		b.ReportMetric(float64(frames)/float64(flushes), "frames/flush")
+	}
+}
+
 // BenchmarkFigure9cEventsMonitor regenerates Figure 9(c): events generated
 // by the PRADS-like monitor during a move, versus packet rate.
 func BenchmarkFigure9cEventsMonitor(b *testing.B) {
+	eval.TakeWireStats()
 	runExp(b, func() (*eval.Table, error) {
 		return eval.Figure9Events(eval.Figure9EventsConfig{
 			ChunkCounts: []int{250}, Rates: []int{1000, 2500}, Window: 100 * time.Millisecond,
 		}, false)
 	})
+	reportWireStats(b)
 }
 
 // BenchmarkFigure9dEventsIPS regenerates Figure 9(d) for the Bro-like IPS.
 func BenchmarkFigure9dEventsIPS(b *testing.B) {
+	eval.TakeWireStats()
 	runExp(b, func() (*eval.Table, error) {
 		return eval.Figure9Events(eval.Figure9EventsConfig{
 			ChunkCounts: []int{250}, Rates: []int{1000, 2500}, Window: 100 * time.Millisecond,
 		}, true)
 	})
+	reportWireStats(b)
 }
 
 // BenchmarkFigure10aSingleMove regenerates Figure 10(a): controller time

@@ -29,6 +29,7 @@ import (
 
 	"openmb/internal/eval"
 	"openmb/internal/netsim"
+	"openmb/internal/sbi"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	batch := flag.Int("batch", envBatch, "state chunks per SBI frame (1 = the paper's framing)")
 	shards := flag.Int("shards", eval.Shards(), "controller transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation)")
 	zerocopy := flag.Bool("zerocopy", netsim.ZeroCopyDefault(), "zero-copy netsim data path: pooled packets over ring-buffer links (false = copying ablation)")
+	coalesce := flag.Bool("coalesce", sbi.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	flag.Parse()
 
 	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
@@ -51,7 +53,8 @@ func main() {
 		log.Fatal(err)
 	}
 	netsim.SetZeroCopyDefault(*zerocopy)
-	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto) zerocopy=%v\n\n", *codec, *batch, *shards, *zerocopy)
+	sbi.SetCoalesceDefault(*coalesce)
+	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto) zerocopy=%v coalesce=%v\n\n", *codec, *batch, *shards, *zerocopy, *coalesce)
 
 	full := *scale == "full"
 	want := map[string]bool{}

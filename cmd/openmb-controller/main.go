@@ -34,8 +34,10 @@ func main() {
 	replicas := flag.Int("replicas", envInt("OPENMB_REPLICAS", 1), "controller replicas in the cluster (1 = single-controller; default from OPENMB_REPLICAS)")
 	rebalance := flag.Duration("rebalance", 0, "interval between live handoffs rotating one middlebox to the next replica (0 = never)")
 	events := flag.Bool("log-events", true, "log introspection events")
+	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	flag.Parse()
 
+	openmb.SetCoalesceDefault(*coalesce)
 	cluster := openmb.NewCluster(openmb.ClusterOptions{
 		Replicas: *replicas,
 		Controller: openmb.ControllerOptions{

@@ -30,11 +30,13 @@ func main() {
 	lbVIP := flag.String("lb-vip", "1.1.1.100:80", "VIP for -kind lb")
 	lbBackends := flag.String("lb-backends", "1.1.1.10:8080,1.1.1.11:8080", "comma-separated backends for -kind lb")
 	cacheBytes := flag.Int("cache-bytes", 1<<22, "cache capacity for -kind re-encoder/re-decoder")
+	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("openmb-mb: -name is required")
 	}
 
+	openmb.SetCoalesceDefault(*coalesce)
 	codec, err := openmb.ParseCodec(*codecName)
 	if err != nil {
 		log.Fatal(err)

@@ -675,3 +675,105 @@ func TestRegistrationStorm(t *testing.T) {
 		t.Fatalf("%d waiter entries leaked", leaked)
 	}
 }
+
+// TestClusterBatchedEventHandoffStorm is the coalesced-wire-path stress:
+// burst traffic (whole flow sets back to back, so the mbox outbox reliably
+// produces multi-event frames) against concurrent moves while a handoff
+// storm rotates every middlebox between three replicas. Batched frames must
+// survive the freeze-transfer-replay discipline exactly like singles: every
+// event either replays at the destination or is counted at the source, and
+// the combined per-flow counts come out exact. Run under -race in CI.
+func TestClusterBatchedEventHandoffStorm(t *testing.T) {
+	const pairs, flows, rounds, replicas = 3, 40, 30, 3
+	r := newClusterRig(t, replicas, pairs, false)
+	for i := 0; i < pairs; i++ {
+		r.srcs[i].Preload(flows)
+	}
+
+	var traffic sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		traffic.Add(1)
+		go func(i int) {
+			defer traffic.Done()
+			rt := r.rts[fmt.Sprintf("src%d", i)]
+			for round := 0; round < rounds; round++ {
+				// The whole flow set in one burst: the packet worker
+				// raises the events back to back, so the 2 ms coalescing
+				// window packs them into batched frames.
+				for f := 0; f < flows; f++ {
+					rt.HandlePacket(mbtest.PacketForFlow(f))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	stopChaos := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		names := r.cl.Middleboxes()
+		for i := 0; ; i++ {
+			select {
+			case <-stopChaos:
+				return
+			default:
+			}
+			name := names[i%len(names)]
+			cur, err := r.cl.ReplicaOf(name)
+			if err != nil {
+				continue
+			}
+			_ = r.cl.Rebalance(name, (cur+1)%replicas)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var moves sync.WaitGroup
+	errs := make([]error, pairs)
+	for i := 0; i < pairs; i++ {
+		moves.Add(1)
+		go func(i int) {
+			defer moves.Done()
+			errs[i] = r.cl.MoveInternal(fmt.Sprintf("src%d", i), fmt.Sprintf("dst%d", i), packet.MatchAll)
+		}(i)
+	}
+	moves.Wait()
+	traffic.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("move %d under batched-event storm: %v", i, err)
+		}
+	}
+	r.drainAll(t)
+	if !r.cl.WaitTxns(30 * time.Second) {
+		t.Fatal("transactions did not complete")
+	}
+	close(stopChaos)
+	chaos.Wait()
+	r.drainAll(t)
+
+	if got := r.cl.Handoffs(); got < uint64(replicas) {
+		t.Fatalf("storm performed only %d handoffs", got)
+	}
+	var raised uint64
+	for i := 0; i < pairs; i++ {
+		raised += r.rts[fmt.Sprintf("src%d", i)].Metrics().EventsRaised
+	}
+	if raised == 0 {
+		t.Fatal("workload raised no reprocess events; the storm exercised nothing")
+	}
+	for i := 0; i < pairs; i++ {
+		for f := 0; f < flows; f++ {
+			k := mbtest.FlowN(f)
+			if got := r.srcs[i].Count(k) + r.dsts[i].Count(k); got != rounds+1 {
+				t.Fatalf("pair %d flow %d: combined count %d, want %d", i, f, got, rounds+1)
+			}
+		}
+		if got := r.srcs[i].Flows(); got != 0 {
+			t.Fatalf("pair %d: source still holds %d flows", i, got)
+		}
+	}
+	assertRoutersQuiescent(t, r.cl)
+}

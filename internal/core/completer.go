@@ -133,6 +133,15 @@ func (c *completer) loop() {
 		c.mu.Lock()
 		for len(c.pending) > 0 && c.pending[0].due <= now {
 			e := heap.Pop(&c.pending).(*completion)
+			// Pipeline first, clock second (the order matters — see
+			// txn.quietSince): events the source already delivered but
+			// the router has not routed will touch the quiet clock when
+			// they route, so re-poll rather than completing past them.
+			if e.t.src.eventsInFlight() > 0 {
+				e.due = now + quiet/5
+				heap.Push(&c.pending, e)
+				continue
+			}
 			if due := e.t.lastEvent.Load() + quiet; due > now {
 				// Events arrived since this deadline was set: not
 				// quiet yet. Sleep until the new earliest instant.

@@ -238,17 +238,27 @@ func (c *Controller) serveMB(conn *sbi.Conn, hello *sbi.Message) {
 		return
 	}
 	mb := newMBConn(hello.Name, hello.Kind, conn, c)
+	// The hello's Batch announces the largest events[] batch the middlebox
+	// is willing to receive per reprocess frame (0/1: the per-event framing
+	// peers that predate event batching expect).
+	mb.eventBatch = hello.Batch
 	if !c.register(mb) {
 		conn.Close()
 		return
 	}
+	mb.eventWG.Add(1)
+	go mb.eventRouter()
 	err := mb.readLoop()
-	// The MB disconnected: fail outstanding calls with the reason, drop
-	// its routing state, and deregister — from whichever replica owns it
-	// now. The handoff read-lock serializes this cleanup against a
-	// concurrent ownership transfer, so the purge and the deregistration
-	// hit the same controller and a transfer can never resurrect state
-	// for a connection that is already gone.
+	// The MB disconnected: drain the event router (queued events route
+	// against whatever transactions remain — the purge below cleans up),
+	// fail outstanding calls with the reason, drop the routing state, and
+	// deregister — from whichever replica owns it now. The handoff
+	// read-lock serializes this cleanup against a concurrent ownership
+	// transfer, so the purge and the deregistration hit the same
+	// controller and a transfer can never resurrect state for a
+	// connection that is already gone.
+	close(mb.eventQ)
+	mb.eventWG.Wait()
 	mb.failAll(fmt.Errorf("middlebox disconnected: %w", err))
 	mb.routingLock()
 	cur := mb.controller()
@@ -486,6 +496,10 @@ type mbConn struct {
 	name string
 	kind string
 	conn *sbi.Conn
+	// eventBatch is the largest events[] batch this middlebox accepts per
+	// reprocess frame, from its hello announcement (immutable after
+	// registration); <= 1 keeps the per-event framing.
+	eventBatch int
 
 	// ctrl is the controller (cluster replica) that currently owns this
 	// connection's routing state. A handoff retargets it; everything that
@@ -516,6 +530,30 @@ type mbConn struct {
 	// getCallChanLocked.
 	chanFree []chan *sbi.Message
 
+	// eventQ hands MsgEvent frames from the read loop to the connection's
+	// event-router goroutine (see eventRouter). Routing off the read loop
+	// keeps chunk streams and ACKs flowing at wire speed while an event
+	// burst is being routed — with the coalesced wire path a source can
+	// legitimately have thousands of events in flight, and routing them
+	// inline would head-of-line-block the move pipeline behind them
+	// (stretching the move window, which raises yet more events). The
+	// queue is bounded: a router that falls behind backpressures the read
+	// loop, exactly the seed's inline-routing throttle, just with slack.
+	eventQ  chan *sbi.Message
+	eventWG sync.WaitGroup
+	// eventsRecv counts events the read loop has accepted off the wire;
+	// eventsRouted counts events the router has finished routing. Their
+	// difference is the connection's in-flight event pipeline, and
+	// transaction quiescence requires it to be empty: with routing
+	// decoupled from receiving, "no events for a quiet period" must mean
+	// no events *anywhere*, or a descheduled router would let the
+	// completer end a transaction whose count-bearing events are still
+	// queued (clearing source marks early and orphaning the replays).
+	// The seed coupled receipt to routing, so its quiet clock saw events
+	// the moment they left the wire; these counters restore that meaning.
+	eventsRecv   atomic.Uint64
+	eventsRouted atomic.Uint64
+
 	// sharedTxn is the transaction that currently owns this MB's shared
 	// state: at most one clone/merge per source runs at a time.
 	sharedTxn atomic.Pointer[txn]
@@ -524,16 +562,55 @@ type mbConn struct {
 	liveTxns atomic.Int64
 }
 
+// eventQueueDepth bounds frames queued between a connection's read loop
+// and its event router. Deep enough to absorb a coalescing window's burst
+// (a few full frames), shallow enough that a routing backlog promptly
+// backpressures the source — the depth is also the worst-case
+// head-of-line wait for a chunk frame arriving behind queued events (the
+// read loop blocks on admission when the queue is full), so a deep queue
+// lets a saturating event firehose stretch a concurrent get stream from
+// seconds into minutes.
+const eventQueueDepth = 32
+
 // newMBConn builds the controller's view of one middlebox connection, owned
 // by c until a handoff moves it.
 func newMBConn(name, kind string, conn *sbi.Conn, c *Controller) *mbConn {
 	mb := &mbConn{
 		name: name, kind: kind, conn: conn,
 		pending:   map[uint64]*call{},
+		eventQ:    make(chan *sbi.Message, eventQueueDepth),
 		noHandoff: !c.clustered,
 	}
 	mb.ctrl.Store(c)
 	return mb
+}
+
+// eventRouter drains eventQ, routing each frame's events in arrival (seq)
+// order. One goroutine per connection, so per-source FIFO ordering — the
+// §4.2.1 buffer-until-ACK argument's foundation — is preserved exactly as
+// if the read loop still routed inline. Forwarding from here cannot
+// deadlock: reprocess forwards target middlebox runtimes, which consume
+// their southbound stream unconditionally.
+func (mb *mbConn) eventRouter() {
+	defer mb.eventWG.Done()
+	for m := range mb.eventQ {
+		// EachEvent covers both wire forms (and their illegal-but-
+		// decodable combination), matching the EventCount the read loop
+		// charged into eventsRecv.
+		m.EachEvent(mb.routeEvent)
+		// Routed only after every event in the frame has touched its
+		// transaction's quiet clock, so a quiescence check can never see
+		// the pipeline empty while a touch is still pending.
+		mb.eventsRouted.Add(uint64(m.EventCount()))
+	}
+}
+
+// eventsInFlight reports how many received events are still queued for (or
+// mid-) routing. Reading routed before recv keeps the result conservative:
+// a racing arrival can only make the pipeline look busier, never empty.
+func (mb *mbConn) eventsInFlight() uint64 {
+	routed := mb.eventsRouted.Load()
+	return mb.eventsRecv.Load() - routed
 }
 
 // controller returns the replica that currently owns this connection.
@@ -677,7 +754,14 @@ func (mb *mbConn) readLoop() error {
 		}
 		switch m.Type {
 		case sbi.MsgEvent:
-			mb.routeEvent(m.Event)
+			// Count the events in before queueing them (quiescence reads
+			// recv before routed, so the pipeline can never look empty
+			// with this frame in it), then hand the frame to the event
+			// router; blocking when the router is eventQueueDepth frames
+			// behind is the intended backpressure (the seed routed
+			// inline, i.e. with no slack).
+			mb.eventsRecv.Add(uint64(m.EventCount()))
+			mb.eventQ <- m
 		case sbi.MsgChunk, sbi.MsgDone, sbi.MsgError:
 			mb.mu.Lock()
 			cl := mb.pending[m.ID]

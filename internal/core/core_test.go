@@ -442,7 +442,14 @@ func TestShardEquivalence(t *testing.T) {
 // (run under -race in CI).
 func TestConcurrentMovesManyKeys(t *testing.T) {
 	const pairs, flows = 4, 150
-	r := newRig(t, core.Options{QuietPeriod: 80 * time.Millisecond, Shards: 8})
+	// The quiet period is the conservation margin: if a source's packet
+	// worker is starved past it during the marked window (zero events →
+	// "quiet" → del clears the marks), later packets legitimately count
+	// into post-move source state and the sum check fails. Under -race on
+	// one CPU with 8 runtimes' worth of goroutines, 80 ms is inside the
+	// scheduler's tail; 250 ms is not (traffic stops before the dels, so
+	// the widening costs one period of wall clock, not per-move time).
+	r := newRig(t, core.Options{QuietPeriod: 250 * time.Millisecond, Shards: 8})
 	logics := make([]*mbtest.CounterLogic, 2*pairs)
 	rts := make([]*mbox.Runtime, 2*pairs)
 	for i := range logics {
@@ -454,7 +461,6 @@ func TestConcurrentMovesManyKeys(t *testing.T) {
 	}
 
 	stop := make(chan struct{})
-	sent := make([]int, pairs)
 	var traffic sync.WaitGroup
 	for i := 0; i < pairs; i++ {
 		traffic.Add(1)
@@ -468,7 +474,6 @@ func TestConcurrentMovesManyKeys(t *testing.T) {
 				default:
 				}
 				rts[2*i].HandlePacket(mbtest.PacketForFlow(n % flows))
-				sent[i]++
 				n++
 				if n%40 == 0 {
 					time.Sleep(time.Millisecond)
@@ -506,9 +511,22 @@ func TestConcurrentMovesManyKeys(t *testing.T) {
 		if !rts[2*i+1].Drain(10 * time.Second) {
 			t.Fatalf("destination %d did not drain replays", i)
 		}
-		want := uint64(flows + sent[i])
+		srcM, dstM := rts[2*i].Metrics(), rts[2*i+1].Metrics()
+		// Conservation is over ACCEPTED packets: the ingress ring sheds
+		// live deliveries under sustained overload by design (a loaded
+		// middlebox drops; -race on one CPU reaches that regime), and a
+		// shed packet touched no state anywhere. Replays, by contrast,
+		// carry state another instance already exported — shedding one
+		// IS loss, so it must never happen here.
+		if srcM.DroppedReplays != 0 || dstM.DroppedReplays != 0 {
+			t.Fatalf("pair %d: replay sheds src=%d dst=%d", i, srcM.DroppedReplays, dstM.DroppedReplays)
+		}
+		want := uint64(flows) + srcM.Processed
 		if got := logics[2*i+1].SumCounts(); got != want {
-			t.Fatalf("pair %d: dst sum=%d want=%d", i, got, want)
+			t.Fatalf("pair %d: dst sum=%d want=%d srcM=%+v dstM=%+v", i, got, want, srcM, dstM)
+		}
+		if srcM.Processed == 0 {
+			t.Fatalf("pair %d: source accepted no traffic; the workload exercised nothing", i)
 		}
 		if got := logics[2*i].Flows(); got != 0 {
 			t.Fatalf("pair %d: src flows remain: %d", i, got)

@@ -260,13 +260,26 @@ func (r *txnRouter) purgeMB(mb *mbConn) {
 	}
 }
 
-// forwardEvents sends reprocess events to dst in order. Never called with a
-// shard lock held.
+// forwardEvents sends reprocess events to dst in order — one frame per call
+// (up to the destination's announced batch) rather than one frame per
+// event, so a buffered burst released by a put ACK costs one encode-and-
+// flush decision instead of len(evs). Destinations that did not announce
+// event batching in their hello get the per-event framing. Never called
+// with a shard lock held.
 func forwardEvents(c *Controller, dst *mbConn, evs []*sbi.Event) {
-	for _, ev := range evs {
-		c.eventsForwarded.Add(1)
-		_ = dst.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess, Event: ev})
+	if len(evs) == 0 {
+		return
 	}
+	c.eventsForwarded.Add(uint64(len(evs)))
+	batch := dst.eventBatch
+	if batch < 1 {
+		batch = 1
+	}
+	_ = sbi.FrameEvents(evs, batch, func(frame []*sbi.Event) error {
+		m := &sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess}
+		m.SetEvents(frame)
+		return dst.conn.Send(m)
+	})
 }
 
 // routeEvent dispatches an MB-raised event: introspection events go to the

@@ -10,9 +10,11 @@ package eval
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"openmb/internal/core"
@@ -312,10 +314,22 @@ func (d *directMB) collect(id uint64, timeout time.Duration, onChunk func(*sbi.M
 	}
 }
 
-// pace runs send at the given packet rate until stop closes, compensating
-// for sleep granularity by batching: it tracks the ideal schedule and sends
-// however many packets are due each wakeup, so effective rates hold even
-// when time.Sleep overshoots.
+// paceSpinWindow is how close to a packet deadline the pacer switches from
+// sleeping to yielding: within the window, timer granularity (~1 ms on a
+// loaded box) would overshoot the deadline, so the pacer spins on the clock
+// instead — cooperatively (runtime.Gosched per iteration), because on a
+// single-CPU host a hard busy-wait would starve the consumer it is pacing.
+const paceSpinWindow = 100 * time.Microsecond
+
+// pace runs send at the given packet rate until stop closes, following an
+// absolute-deadline schedule: packet i is due at start + i/rate, and the
+// loop sleeps until just before the next deadline, then spins to it (a
+// hybrid sleep/spin pacer in the timerfd-plus-busy-poll style). The seed
+// slept a fixed 1 ms per wakeup and relied on due-count catch-up, which
+// holds the average rate but quantizes arrivals into scheduler-sized bursts
+// and caps honest injection around the sleep granularity; the deadline
+// schedule keeps per-packet fidelity into the >100k pps range while still
+// absorbing oversleeps through the same catch-up arithmetic.
 func pace(rate int, stop <-chan struct{}, send func(i int)) {
 	start := time.Now()
 	sent := 0
@@ -330,8 +344,49 @@ func pace(rate int, stop <-chan struct{}, send func(i int)) {
 			send(sent)
 			sent++
 		}
-		time.Sleep(time.Millisecond)
+		// The next packet's absolute deadline; sleeping relative-to-now
+		// would accumulate wakeup latency into the schedule.
+		next := start.Add(time.Duration(sent+1) * time.Second / time.Duration(rate))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			remain := time.Until(next)
+			if remain <= 0 {
+				break
+			}
+			if remain > paceSpinWindow {
+				time.Sleep(remain - paceSpinWindow)
+				continue
+			}
+			runtime.Gosched()
+		}
 	}
+}
+
+// Wire-counter accumulation: experiments that exercise the southbound wire
+// path record their middlebox connections' frame/flush counters here, so
+// the benchmark table can report the frames-per-flush ratio the coalesced
+// write path exists to raise (and the CI bench job can persist it in
+// BENCH_5.json).
+var (
+	wireFrames  atomic.Uint64
+	wireFlushes atomic.Uint64
+)
+
+// recordWire adds one connection's counters to the accumulated wire stats.
+func recordWire(c sbi.Counters) {
+	wireFrames.Add(c.Sent)
+	wireFlushes.Add(c.Flushes)
+}
+
+// TakeWireStats returns the frames and flushes accumulated since the last
+// call and resets the counters. frames/flushes is the mean frames-per-flush
+// across the runs in between.
+func TakeWireStats() (frames, flushes uint64) {
+	return wireFrames.Swap(0), wireFlushes.Swap(0)
 }
 
 // percentile returns the p-quantile (0..1) of sorted durations.

@@ -311,6 +311,9 @@ func countMoveEvents(logic mbox.Logic, flows, rate int, window time.Duration) (u
 	close(stop)
 	wg.Wait()
 	d.rt.Drain(30 * time.Second)
+	// The move window's wire behaviour: the MB-side connection carried the
+	// chunk stream and every coalesced event frame.
+	recordWire(d.rt.WireCounters())
 	return d.rt.Metrics().EventsRaised, nil
 }
 
@@ -643,6 +646,16 @@ func SplitMergeBuffering(chunks, rate int) (*Table, error) {
 		return nil, err
 	}
 	moveDur := time.Since(start)
+	// The halt window must actually witness paced traffic: the coalesced
+	// move path finishes small transfers in single-digit milliseconds,
+	// shorter than a scheduling quantum for the injection goroutine on a
+	// loaded box. A halt-based migration holds the valve until the
+	// operator flips routing anyway, so keep it closed (bounded) until at
+	// least one packet has been caught — buffered ≈ rate × window still
+	// holds, with the window being the real halt duration.
+	for valve.QueueLen() == 0 && time.Since(start) < 250*time.Millisecond {
+		time.Sleep(time.Millisecond)
+	}
 	buffered, added := valve.Release(dstRT.HandlePacket)
 	close(stop)
 	wg.Wait()

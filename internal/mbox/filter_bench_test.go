@@ -1,0 +1,47 @@
+package mbox
+
+// Microbench guard for the filterAllows clock hoist: the introspection
+// filter check runs per raised event under filtersMu on the packet worker's
+// path, and before the hoist it read the clock once per *filter* per event.
+// With 64 TTL-bearing filters that was 64 clock calls per event; now it is
+// one. The benchmark pins the shape so a regression (a clock read creeping
+// back into the loop) shows up as a step change in ns/op.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/state"
+)
+
+func benchFilterStack(b *testing.B, filters int) {
+	rt := &Runtime{
+		movedKeys:   map[touchRef]bool{},
+		sharedMoved: map[state.Class]bool{},
+		logs:        map[string][]string{},
+	}
+	expires := time.Now().Add(time.Hour)
+	for i := 0; i < filters; i++ {
+		rt.filters = append(rt.filters, eventFilter{
+			codePrefix: fmt.Sprintf("app%d.", i),
+			match:      packet.MatchAll,
+			enable:     true,
+			expires:    expires, // every entry pays the expiry check
+		})
+	}
+	key := packet.FlowKey{SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A code matching no prefix walks the whole stack — the worst case
+		// the hoist targets.
+		if rt.filterAllows("zz.miss", key) {
+			b.Fatal("unexpected filter match")
+		}
+	}
+}
+
+func BenchmarkFilterAllowsDeepStack(b *testing.B)    { benchFilterStack(b, 64) }
+func BenchmarkFilterAllowsShallowStack(b *testing.B) { benchFilterStack(b, 4) }

@@ -18,6 +18,9 @@ import (
 type harness struct {
 	rt   *mbox.Runtime
 	ctrl *sbi.Conn
+	// hello is the runtime's registration frame, kept for assertions on
+	// its announcements (codec, event batch).
+	hello *sbi.Message
 	// events receives MsgEvent frames; replies receives everything else.
 	events  chan *sbi.Message
 	replies chan *sbi.Message
@@ -62,7 +65,7 @@ func newHarness(t *testing.T, logic mbox.Logic) *harness {
 	if err := ctrl.Upgrade(hello.Codec); err != nil {
 		t.Fatal(err)
 	}
-	h := &harness{rt: rt, ctrl: ctrl, events: make(chan *sbi.Message, 1024), replies: make(chan *sbi.Message, 1024)}
+	h := &harness{rt: rt, ctrl: ctrl, hello: hello, events: make(chan *sbi.Message, 1024), replies: make(chan *sbi.Message, 1024)}
 	go func() {
 		for {
 			m, err := ctrl.Receive()

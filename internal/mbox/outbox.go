@@ -1,0 +1,173 @@
+package mbox
+
+import (
+	"sync"
+	"time"
+
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// defaultEventWindow is the event coalescing window: after the first event
+// of a burst wakes the flusher, it waits this long for burst-mates before
+// framing, ClickOS-style interrupt coalescing for the southbound wire. The
+// added delivery latency is negligible against the controller's quiet
+// period (50 ms in benchmarks, 5 s in the paper) and the buffer-until-ACK
+// discipline — the controller parks in-transaction events anyway — while a
+// 2 ms window turns a 2500 pps move's per-event frames-and-flushes into
+// ~5-event batches.
+const defaultEventWindow = 2 * time.Millisecond
+
+// maxEventWindow caps Options.EventWindow. Outbox residence time is
+// invisible to the controller's quiescence accounting, so the window must
+// stay a small fraction of the tightest quiet period in use (50 ms in the
+// benchmark rigs; 5 s in the paper's deployment default) — see the
+// Options.EventWindow doc.
+const maxEventWindow = 10 * time.Millisecond
+
+// maxOutboxEvents bounds the event backlog. When the raiser outruns the
+// wire, add blocks until the flusher drains below the bound — the batched
+// analogue of the seed's synchronous per-event send, which throttled the
+// packet worker to wire speed one event at a time. Without it a saturating
+// packet loop grows the backlog without limit and the event firehose
+// starves same-connection request streams. The bound is deliberately a
+// small multiple of the frame size: a worker stall lasts one drain cycle,
+// and a cycle's length scales with the backlog it swallowed — a deep
+// backlog turns smooth per-event throttling into bursty stalls long
+// enough for the ingress ring to overflow.
+const maxOutboxEvents = 16 * sbi.MaxEventsPerFrame
+
+// eventOutbox decouples event raising from event transmission: the packet
+// worker appends events (reprocess packet payloads marshal into a shared
+// arena, so the steady state allocates no per-event buffer) and a single
+// flusher goroutine frames everything pending into batched MsgEvent frames.
+// FIFO order — and therefore seq order — is preserved end to end.
+type eventOutbox struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	notFull sync.Cond
+	jobs    []*sbi.Event
+	arena   []byte
+	closed  bool
+}
+
+func (ob *eventOutbox) init() {
+	ob.cond.L = &ob.mu
+	ob.notFull.L = &ob.mu
+}
+
+// add queues ev; if p is non-nil its wire form is marshaled into the arena
+// and attached as the event's packet. Blocks while the backlog is at its
+// bound (wire-speed backpressure on the raiser). Reports false when the
+// outbox closed (the event is dropped, as a send on a dead connection
+// would be).
+func (ob *eventOutbox) add(ev *sbi.Event, p *packet.Packet) bool {
+	ob.mu.Lock()
+	for len(ob.jobs) >= maxOutboxEvents && !ob.closed {
+		ob.notFull.Wait()
+	}
+	if ob.closed {
+		ob.mu.Unlock()
+		return false
+	}
+	if p != nil {
+		// An arena grow moves earlier events' payloads to a new backing
+		// array; their slices keep aliasing the old one, which stays valid
+		// until they are framed. Steady state: capacity sticks at one
+		// window's worth of payload and nothing allocates.
+		off := len(ob.arena)
+		ob.arena = p.Marshal(ob.arena)
+		ev.Packet = ob.arena[off:len(ob.arena):len(ob.arena)]
+	}
+	ob.jobs = append(ob.jobs, ev)
+	wake := len(ob.jobs) == 1
+	ob.mu.Unlock()
+	if wake {
+		ob.cond.Signal()
+	}
+	return true
+}
+
+// close wakes the flusher to drain the backlog and exit, and releases any
+// raiser blocked on the bound.
+func (ob *eventOutbox) close() {
+	ob.mu.Lock()
+	ob.closed = true
+	ob.mu.Unlock()
+	ob.cond.Broadcast()
+	ob.notFull.Broadcast()
+}
+
+// eventFlusher is the outbox consumer: wait for the first event of a burst,
+// linger for the coalescing window, then swap out the whole backlog and
+// frame it. The previous cycle's job slice and arena are handed back as the
+// next fill buffers (double buffering), so the flusher allocates nothing in
+// steady state beyond the frames themselves.
+func (rt *Runtime) eventFlusher() {
+	defer rt.workersWG.Done()
+	ob := &rt.outbox
+	var spareJobs []*sbi.Event
+	var spareArena []byte
+	lastBatch := 0
+	for {
+		ob.mu.Lock()
+		for len(ob.jobs) == 0 && !ob.closed {
+			ob.cond.Wait()
+		}
+		if len(ob.jobs) == 0 {
+			ob.mu.Unlock()
+			return
+		}
+		pending, closed := len(ob.jobs), ob.closed
+		ob.mu.Unlock()
+		// Linger only at low rates — when neither the pending backlog nor
+		// the previous drain reached a full frame. Once a full frame's
+		// worth is flowing per cycle, batching has nothing left to gain
+		// and the sleep would only throttle the pipeline below the wire's
+		// capacity (the raiser is blocked on the backlog bound meanwhile).
+		if !closed && rt.eventWindow > 0 &&
+			pending < sbi.MaxEventsPerFrame && lastBatch < sbi.MaxEventsPerFrame {
+			time.Sleep(rt.eventWindow)
+		}
+		ob.mu.Lock()
+		batch, arena := ob.jobs, ob.arena
+		ob.jobs, ob.arena = spareJobs[:0], spareArena[:0]
+		ob.notFull.Broadcast()
+		ob.mu.Unlock()
+
+		rt.sendEventFrames(batch)
+		rt.eventsQueued.Add(-int64(len(batch)))
+		lastBatch = len(batch)
+		for i := range batch {
+			batch[i] = nil
+		}
+		spareJobs, spareArena = batch, arena
+	}
+}
+
+// sendEventFrames frames a drained batch — one frame per MaxEventsPerFrame
+// events, deferred, with a single flush publishing the cycle — and sends it
+// southbound. With no controller connected the events are dropped, exactly
+// as a send on a failed connection would be.
+func (rt *Runtime) sendEventFrames(batch []*sbi.Event) {
+	rt.connMu.RLock()
+	conn := rt.conn
+	rt.connMu.RUnlock()
+	if conn == nil || len(batch) == 0 {
+		return
+	}
+	err := sbi.FrameEvents(batch, sbi.MaxEventsPerFrame, func(frame []*sbi.Event) error {
+		m := &sbi.Message{Type: sbi.MsgEvent}
+		m.SetEvents(frame)
+		return conn.SendDeferred(m)
+	})
+	if err == nil {
+		// The events-path bounded-latency guarantee: one explicit flush
+		// per drain cycle, so a raised event reaches the transport within
+		// the coalescing window plus one framing pass.
+		err = conn.Flush()
+	}
+	// Send errors mean the controller is gone; the events are dropped, as
+	// they would be on a failed TCP connection.
+	_ = err
+}

@@ -1,0 +1,121 @@
+package mbox
+
+import (
+	"sync"
+
+	"openmb/internal/packet"
+)
+
+// ingressItem is one queued unit of packet work: a live packet from the
+// network or a replayed reprocess event (with the originating transaction's
+// shared-state flag).
+type ingressItem struct {
+	p      *packet.Packet
+	replay bool
+	shared bool
+}
+
+// ingressRing is the runtime's packet queue: two fixed-capacity rings (live
+// and replay) behind one mutex and one not-empty condition, replacing the
+// seed's pair of buffered channels. It follows the netsim link-ring pattern:
+// producers signal only on the empty->non-empty transition and the single
+// worker pops whole batches per lock acquisition, so wakeups and
+// synchronization amortize across packet bursts instead of costing one
+// channel rendezvous per packet. Replay items are drained first — a
+// reprocess event's packet is state another middlebox is waiting on.
+//
+// Pushes never block: like the seed's non-blocking channel sends, a full
+// queue drops the packet (a loaded middlebox would too) and the caller
+// keeps its borrow to release.
+type ingressRing struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	live     itemQueue
+	replay   itemQueue
+	closed   bool
+}
+
+// itemQueue is a fixed-capacity FIFO ring of ingress items.
+type itemQueue struct {
+	buf  []ingressItem
+	head int
+	n    int
+}
+
+func (q *itemQueue) push(it ingressItem) bool {
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = it
+	q.n++
+	return true
+}
+
+// popInto appends up to cap(dst)-len(dst) items to dst and returns it.
+func (q *itemQueue) popInto(dst []ingressItem) []ingressItem {
+	for q.n > 0 && len(dst) < cap(dst) {
+		dst = append(dst, q.buf[q.head])
+		q.buf[q.head] = ingressItem{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+	}
+	return dst
+}
+
+func newIngressRing(capacity int) *ingressRing {
+	r := &ingressRing{
+		live:   itemQueue{buf: make([]ingressItem, capacity)},
+		replay: itemQueue{buf: make([]ingressItem, capacity)},
+	}
+	r.notEmpty.L = &r.mu
+	return r
+}
+
+// tryPush enqueues it, reporting false when the target queue is full or the
+// ring closed (the caller still owns the packet's borrow in that case).
+func (r *ingressRing) tryPush(it ingressItem) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	q := &r.live
+	if it.replay {
+		q = &r.replay
+	}
+	wasEmpty := r.live.n+r.replay.n == 0
+	if !q.push(it) {
+		r.mu.Unlock()
+		return false
+	}
+	r.mu.Unlock()
+	if wasEmpty {
+		r.notEmpty.Signal()
+	}
+	return true
+}
+
+// popBatch fills dst (up to its capacity) with queued items, blocking while
+// the ring is empty. It returns an empty slice only when the ring is closed
+// and drained; after close it keeps returning the backlog so the worker can
+// dispose of every queued borrow.
+func (r *ingressRing) popBatch(dst []ingressItem) []ingressItem {
+	dst = dst[:0]
+	r.mu.Lock()
+	for r.live.n+r.replay.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	dst = r.replay.popInto(dst)
+	dst = r.live.popInto(dst)
+	r.mu.Unlock()
+	return dst
+}
+
+// close marks the ring closed and wakes the worker. Queued items remain for
+// the worker to drain.
+func (r *ingressRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty.Broadcast()
+}

@@ -28,6 +28,19 @@ type Options struct {
 	// hello. sbi.CodecJSON keeps the paper's newline-delimited JSON, the
 	// compatibility and debugging path.
 	Codec sbi.Codec
+	// EventWindow is the event coalescing window: how long the outbox
+	// flusher lingers after a burst's first event before framing, so
+	// events raised close together share one frame and one flush. 0
+	// selects the default (2 ms); negative disables the linger (events
+	// still batch when they outpace the flusher). Values are clamped to
+	// 10 ms: events lingering in the outbox are invisible to the
+	// controller's quiescence accounting (it can only see events that
+	// reached the wire), so the window must stay well below any quiet
+	// period — a window at or past it would let transactions complete
+	// while count-bearing events are still parked source-side. Ignored
+	// when the coalesced wire path is off (OPENMB_COALESCE=off), which
+	// restores the seed's synchronous frame-and-flush per event.
+	EventWindow time.Duration
 }
 
 // Runtime hosts one middlebox instance: its logic, its southbound
@@ -39,11 +52,23 @@ type Runtime struct {
 	sealer state.BlobSealer
 	codec  sbi.Codec
 
-	in        chan *packet.Packet
-	inReplay  chan replayItem
+	// ring is the ingress queue: live and replayed packets behind one
+	// batched-wake ring (see ingressRing), drained by the single worker.
+	ring      *ingressRing
 	stop      chan struct{}
 	stopOnce  sync.Once
 	workersWG sync.WaitGroup
+
+	// coalesce selects the batched event path (outbox + flusher); off is
+	// the seed's synchronous frame-and-flush per event, captured from
+	// sbi.CoalesceDefault at construction.
+	coalesce    bool
+	eventWindow time.Duration
+	outbox      eventOutbox
+	// eventsQueued counts events raised but not yet handed to the
+	// transport; Drain waits for it so "drained" still means every raised
+	// event is on the wire.
+	eventsQueued atomic.Int64
 
 	// pending counts queued plus in-process packets, for Drain.
 	pending atomic.Int64
@@ -71,6 +96,8 @@ type Runtime struct {
 	// Metrics.
 	processed       atomic.Uint64
 	replayed        atomic.Uint64
+	droppedPackets  atomic.Uint64
+	droppedReplays  atomic.Uint64
 	eventsRaised    atomic.Uint64
 	introRaised     atomic.Uint64
 	suppressedEmits atomic.Uint64
@@ -106,21 +133,33 @@ func New(name string, logic Logic, opts Options) *Runtime {
 	if opts.Codec == "" {
 		opts.Codec = sbi.CodecBinary
 	}
+	if opts.EventWindow == 0 {
+		opts.EventWindow = defaultEventWindow
+	}
+	if opts.EventWindow > maxEventWindow {
+		opts.EventWindow = maxEventWindow
+	}
 	rt := &Runtime{
 		name:        name,
 		logic:       logic,
 		sealer:      opts.Sealer,
 		codec:       opts.Codec,
-		in:          make(chan *packet.Packet, opts.QueueSize),
-		inReplay:    make(chan replayItem, opts.QueueSize),
+		ring:        newIngressRing(opts.QueueSize),
 		stop:        make(chan struct{}),
+		coalesce:    sbi.CoalesceDefault(),
+		eventWindow: opts.EventWindow,
 		forward:     opts.Forward,
 		movedKeys:   map[touchRef]bool{},
 		sharedMoved: map[state.Class]bool{},
 		logs:        map[string][]string{},
 	}
+	rt.outbox.init()
 	rt.workersWG.Add(1)
 	go rt.worker()
+	if rt.coalesce {
+		rt.workersWG.Add(1)
+		go rt.eventFlusher()
+	}
 	return rt
 }
 
@@ -132,20 +171,13 @@ func (rt *Runtime) Logic() Logic { return rt.logic }
 
 // HandlePacket implements netsim.Endpoint: it enqueues the packet for
 // processing. If the queue is full the packet is dropped (and its borrowed
-// reference released), as a loaded middlebox would; after Close it is
-// dropped the same way, so late link deliveries cannot strand a borrow.
+// reference released), as a loaded middlebox would; after Close the ring
+// rejects the push the same way, so late link deliveries cannot strand a
+// borrow.
 func (rt *Runtime) HandlePacket(p *packet.Packet) {
 	rt.pending.Add(1)
-	select {
-	case <-rt.stop:
-		rt.pending.Add(-1)
-		p.Release()
-		return
-	default:
-	}
-	select {
-	case rt.in <- p:
-	default:
+	if !rt.ring.tryPush(ingressItem{p: p}) {
+		rt.droppedPackets.Add(1)
 		rt.pending.Add(-1)
 		p.Release()
 	}
@@ -172,33 +204,40 @@ func (rt *Runtime) forwardPacket(p *packet.Packet) {
 	fn(p)
 }
 
-// worker drains the ingress queues. Replayed packets (reprocess events) and
-// live packets are serialized through the same loop, so logic observes a
-// single-threaded packet stream, as the paper's per-Connection mutex
-// achieves for Bro. The Context is reused across packets (the worker is the
-// only caller of process, and Logic must not retain it past Process), so the
-// steady-state path allocates nothing per packet.
+// ingressBatch is how many queued packets the worker takes per ring
+// synchronization.
+const ingressBatch = 64
+
+// worker drains the ingress ring in batches. Replayed packets (reprocess
+// events) and live packets are serialized through the same loop, so logic
+// observes a single-threaded packet stream, as the paper's per-Connection
+// mutex achieves for Bro; replay items are drained first (another middlebox
+// waits on them). The Context is reused across packets (the worker is the
+// only caller of process, and Logic must not retain it past Process), so
+// the steady-state path allocates nothing per packet, and under bursts one
+// ring synchronization covers up to ingressBatch packets. After Close the
+// ring's backlog is released undelivered.
 func (rt *Runtime) worker() {
 	defer rt.workersWG.Done()
 	var ctx Context
+	batch := make([]ingressItem, 0, ingressBatch)
 	for {
-		select {
-		case <-rt.stop:
+		batch = rt.ring.popBatch(batch)
+		if len(batch) == 0 {
 			return
-		case item := <-rt.inReplay:
-			rt.process(&ctx, item.p, true, item.shared)
-		case p := <-rt.in:
-			rt.process(&ctx, p, false, false)
+		}
+		for i := range batch {
+			it := batch[i]
+			batch[i] = ingressItem{}
+			select {
+			case <-rt.stop:
+				rt.pending.Add(-1)
+				it.p.Release()
+			default:
+				rt.process(&ctx, it.p, it.replay, it.shared)
+			}
 		}
 	}
-}
-
-// replayItem is one queued reprocess event: the packet plus whether the
-// originating transaction covered shared state (which determines the state
-// classes the replay may update; see Context.SkipShared/SkipPerflow).
-type replayItem struct {
-	p      *packet.Packet
-	shared bool
 }
 
 // process runs one packet through the logic and then releases the runtime's
@@ -242,7 +281,10 @@ var eventBufPool = sync.Pool{
 // under the logic's lock), send a reprocess event with a copy of the packet
 // toward the controller. At most one event is raised per packet; the
 // destination replays the whole packet, which renews every piece of state it
-// touches.
+// touches. On the coalesced wire path the event is queued on the outbox —
+// the packet's wire form marshals into the outbox arena, so the steady
+// state allocates no per-event buffer — and the flusher frames it with its
+// burst-mates; the ablation keeps the seed's synchronous frame-and-flush.
 func (rt *Runtime) maybeRaiseReprocess(ctx *Context, p *packet.Packet) {
 	if !ctx.raise {
 		return
@@ -252,16 +294,21 @@ func (rt *Runtime) maybeRaiseReprocess(ctx *Context, p *packet.Packet) {
 		key = p.Flow()
 	}
 	rt.eventsRaised.Add(1)
-	bp := eventBufPool.Get().(*[]byte)
-	buf := p.Marshal((*bp)[:0])
-	rt.sendEvent(&sbi.Event{
+	ev := &sbi.Event{
 		Kind:   sbi.EventReprocess,
 		Key:    key,
 		Class:  ctx.raiseClass,
 		Shared: ctx.raiseShared,
-		Packet: buf,
 		Seq:    rt.eventSeq.Add(1),
-	})
+	}
+	if rt.coalesce {
+		rt.queueEvent(ev, p)
+		return
+	}
+	bp := eventBufPool.Get().(*[]byte)
+	buf := p.Marshal((*bp)[:0])
+	ev.Packet = buf
+	rt.sendEvent(ev)
 	// Keep whatever capacity Marshal grew the buffer to.
 	*bp = buf[:0]
 	eventBufPool.Put(bp)
@@ -272,24 +319,46 @@ func (rt *Runtime) raiseIntrospection(code string, key packet.FlowKey, values ma
 		return
 	}
 	rt.introRaised.Add(1)
-	rt.sendEvent(&sbi.Event{
+	ev := &sbi.Event{
 		Kind:   sbi.EventIntrospection,
 		Key:    key,
 		Code:   code,
 		Values: values,
 		Seq:    rt.eventSeq.Add(1),
-	})
+	}
+	if rt.coalesce {
+		rt.queueEvent(ev, nil)
+		return
+	}
+	rt.sendEvent(ev)
+}
+
+// queueEvent hands one raised event to the outbox flusher, keeping the
+// Drain accounting exact.
+func (rt *Runtime) queueEvent(ev *sbi.Event, p *packet.Packet) {
+	rt.eventsQueued.Add(1)
+	if !rt.outbox.add(ev, p) {
+		rt.eventsQueued.Add(-1)
+	}
 }
 
 // filterAllows evaluates introspection filters. Filters are evaluated in
 // reverse registration order; the most recent matching filter wins. With no
 // matching filter, events are disabled — the safe default against overload.
+// The expiry clock is read once per call (not per filter): a long filter
+// list otherwise pays one vDSO clock call per entry per event, all under
+// filtersMu on the packet worker's critical path
+// (BenchmarkFilterAllowsDeepStack guards the cost).
 func (rt *Runtime) filterAllows(code string, key packet.FlowKey) bool {
 	rt.filtersMu.Lock()
 	defer rt.filtersMu.Unlock()
+	if len(rt.filters) == 0 {
+		return false
+	}
+	now := time.Now()
 	for i := len(rt.filters) - 1; i >= 0; i-- {
 		f := rt.filters[i]
-		if !f.expires.IsZero() && time.Now().After(f.expires) {
+		if !f.expires.IsZero() && now.After(f.expires) {
 			continue
 		}
 		if len(f.codePrefix) <= len(code) && code[:len(f.codePrefix)] == f.codePrefix && f.match.MatchEither(key) {
@@ -299,6 +368,8 @@ func (rt *Runtime) filterAllows(code string, key packet.FlowKey) bool {
 	return false
 }
 
+// sendEvent is the ablation's synchronous event path: one frame, one flush,
+// per event (the flush because the ablation Conn flushes every Send).
 func (rt *Runtime) sendEvent(ev *sbi.Event) {
 	rt.connMu.RLock()
 	conn := rt.conn
@@ -360,13 +431,15 @@ func (rt *Runtime) Log(stream string) []string {
 	return append([]string(nil), rt.logs[stream]...)
 }
 
-// Drain blocks until the ingress queues are empty and no packet is being
-// processed, or the timeout elapses. Returns true if drained.
+// Drain blocks until the ingress queues are empty, no packet is being
+// processed, and every raised event has been handed to the transport — or
+// the timeout elapses. Returns true if drained.
 func (rt *Runtime) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	idle := func() bool { return rt.pending.Load() == 0 && rt.eventsQueued.Load() == 0 }
 	streak := 0
 	for time.Now().Before(deadline) {
-		if rt.pending.Load() == 0 {
+		if idle() {
 			streak++
 			if streak >= 3 {
 				return true
@@ -376,13 +449,18 @@ func (rt *Runtime) Drain(timeout time.Duration) bool {
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
-	return rt.pending.Load() == 0
+	return idle()
 }
 
 // Metrics is a snapshot of runtime counters.
 type Metrics struct {
 	Processed       uint64
 	Replayed        uint64
+	// DroppedPackets and DroppedReplays count ingress-ring rejections
+	// (full or closed): live deliveries shed like a loaded middlebox, and
+	// replayed reprocess packets that could not be queued.
+	DroppedPackets uint64
+	DroppedReplays uint64
 	EventsRaised    uint64
 	IntroRaised     uint64
 	Emitted         uint64
@@ -394,11 +472,27 @@ type Metrics struct {
 	LatencyDuringOp time.Duration
 }
 
+// WireCounters returns the southbound connection's frame and flush
+// counters (zero before Connect). The Sent/Flushes ratio is the coalesced
+// wire path's effectiveness measure; eval's move-window experiments report
+// it as frames/flush.
+func (rt *Runtime) WireCounters() sbi.Counters {
+	rt.connMu.RLock()
+	conn := rt.conn
+	rt.connMu.RUnlock()
+	if conn == nil {
+		return sbi.Counters{}
+	}
+	return conn.Counters()
+}
+
 // Metrics returns a snapshot of the runtime's counters.
 func (rt *Runtime) Metrics() Metrics {
 	m := Metrics{
 		Processed:       rt.processed.Load(),
 		Replayed:        rt.replayed.Load(),
+		DroppedPackets:  rt.droppedPackets.Load(),
+		DroppedReplays:  rt.droppedReplays.Load(),
 		EventsRaised:    rt.eventsRaised.Load(),
 		IntroRaised:     rt.introRaised.Load(),
 		Emitted:         rt.emitted.Load(),
@@ -415,13 +509,16 @@ func (rt *Runtime) Metrics() Metrics {
 }
 
 // Close stops the packet worker and closes the controller connection.
-// Packets still queued are released undelivered; a delivery racing Close
-// either lands in the queue before the drain below or observes the closed
-// stop channel in HandlePacket and releases its own borrow, so no packet is
-// stranded either way.
+// Packets still queued are released undelivered: closing the ring wakes the
+// worker, which releases the backlog (stop is already closed), and a
+// delivery racing Close either lands in the ring before that drain or has
+// its push rejected by the closed ring and releases its own borrow in
+// HandlePacket — no packet is stranded either way.
 func (rt *Runtime) Close() {
 	rt.stopOnce.Do(func() {
 		close(rt.stop)
+		rt.ring.close()
+		rt.outbox.close()
 		rt.connMu.Lock()
 		if rt.conn != nil {
 			rt.conn.Close()
@@ -429,31 +526,11 @@ func (rt *Runtime) Close() {
 		rt.connMu.Unlock()
 	})
 	rt.workersWG.Wait()
-	// Drain until pending reaches zero: an in-flight HandlePacket that
-	// passed the stop check before it closed may still be about to
-	// enqueue, so keep sweeping (bounded) while borrows are outstanding.
+	// Bounded wait for in-flight HandlePacket racers: they incremented
+	// pending before their push was rejected and release their own borrow
+	// right after.
 	deadline := time.Now().Add(time.Second)
-	for {
-		drained := false
-		for {
-			select {
-			case p := <-rt.in:
-				rt.pending.Add(-1)
-				p.Release()
-				drained = true
-				continue
-			case item := <-rt.inReplay:
-				rt.pending.Add(-1)
-				item.p.Release()
-				drained = true
-				continue
-			default:
-			}
-			break
-		}
-		if rt.pending.Load() == 0 || (!drained && time.Now().After(deadline)) {
-			return
-		}
+	for rt.pending.Load() != 0 && time.Now().Before(deadline) {
 		time.Sleep(50 * time.Microsecond)
 	}
 }

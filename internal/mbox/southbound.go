@@ -31,6 +31,12 @@ func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
 	if codec != sbi.CodecJSON {
 		hello.Codec = codec
 	}
+	if rt.coalesce {
+		// Announce willingness to receive batched reprocess frames (the
+		// event analogue of chunk batching); a controller that predates
+		// event batching ignores the field and keeps per-event delivery.
+		hello.Batch = sbi.MaxEventsPerFrame
+	}
 	if err := conn.Send(hello); err != nil {
 		conn.Close()
 		return err
@@ -49,11 +55,26 @@ func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
 	return nil
 }
 
+// maxDeferredReplies bounds reply coalescing: after this many served
+// requests the loop flushes even if more input is already buffered. The
+// cap matters under sustained inbound load — during a move the controller
+// keeps the destination's read buffer non-empty with reprocess deliveries,
+// and an uncapped "flush only at idle" rule would park the put ACKs the
+// controller's pipeline is waiting on indefinitely (a starvation feedback:
+// stalled ACKs lengthen the move window, which buffers more events, which
+// keeps the read buffer fuller).
+const maxDeferredReplies = 16
+
 func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
 	defer rt.workersWG.Done()
+	served := 0
 	for {
 		m, err := conn.Receive()
 		if err != nil {
+			// The loop is exiting with replies possibly still deferred;
+			// publish them so a half-served pipeline is not lost with the
+			// buffer (a no-op on a closed transport).
+			_ = conn.Flush()
 			return
 		}
 		if m.Type != sbi.MsgRequest {
@@ -63,12 +84,24 @@ func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
 		// worker runs concurrently, so logic implementations lock
 		// per chunk (see Logic contract).
 		rt.serveRequest(conn, m)
+		served++
+		// Reply coalescing: replies are encoded deferred, and the flush
+		// happens when the loop is about to block on the transport — or
+		// at the deferral cap, whichever comes first. A pipelined request
+		// burst thus shares flushes across its ACKs, while a lone
+		// request's reply still reaches the wire before the loop sleeps —
+		// the same flush-on-idle discipline the Conn applies to racing
+		// senders.
+		if served >= maxDeferredReplies || conn.ReadBuffered() == 0 {
+			_ = conn.Flush()
+			served = 0
+		}
 	}
 }
 
 func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 	fail := func(err error) {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 	}
 	switch m.Op {
 	case sbi.OpGetConfig:
@@ -77,7 +110,7 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 			fail(err)
 			return
 		}
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Entries: entries, Count: len(entries)})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Entries: entries, Count: len(entries)})
 
 	case sbi.OpSetConfig:
 		var err error
@@ -91,14 +124,14 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 			fail(err)
 			return
 		}
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpDelConfig:
 		if err := rt.logic.Config().Del(m.Path); err != nil {
 			fail(err)
 			return
 		}
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpGetSupportPerflow:
 		rt.serveGetPerflow(conn, m, state.Supporting)
@@ -127,7 +160,7 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 
 	case sbi.OpStats:
 		s := rt.logic.Stats(m.Match)
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Stats: &s})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Stats: &s})
 
 	case sbi.OpSetEventFilter:
 		f := eventFilter{codePrefix: m.Path, match: m.Match, enable: m.Enable}
@@ -137,7 +170,7 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 		rt.filtersMu.Lock()
 		rt.filters = append(rt.filters, f)
 		rt.filtersMu.Unlock()
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpEndTransaction:
 		if m.Enable {
@@ -148,19 +181,44 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 			rt.clearMarks(m.Match, state.Supporting, false)
 			rt.clearMarks(m.Match, state.Reporting, false)
 		}
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpReprocess:
-		if m.Event == nil || len(m.Event.Packet) == 0 {
+		// One frame may carry a whole coalescing window's events (the
+		// controller batches per destination when the hello announced it);
+		// each replays independently, in frame (seq) order. Validation is
+		// all-or-nothing: every packet unmarshals before any replay is
+		// enqueued, so the error reply keeps the seed's single-event
+		// meaning of "nothing was applied", and a packetless event
+		// anywhere in the frame is the same frame error it was alone.
+		var replays []replayJob
+		var evErr error
+		m.EachEvent(func(ev *sbi.Event) {
+			if evErr != nil {
+				return
+			}
+			if len(ev.Packet) == 0 {
+				evErr = fmt.Errorf("mbox: reprocess without packet")
+				return
+			}
+			var p packet.Packet
+			if err := p.Unmarshal(ev.Packet); err != nil {
+				evErr = err
+				return
+			}
+			replays = append(replays, replayJob{p: &p, shared: ev.Shared})
+		})
+		if evErr != nil {
+			fail(evErr)
+			return
+		}
+		if len(replays) == 0 {
 			fail(fmt.Errorf("mbox: reprocess without packet"))
 			return
 		}
-		var p packet.Packet
-		if err := p.Unmarshal(m.Event.Packet); err != nil {
-			fail(err)
-			return
+		for _, r := range replays {
+			rt.enqueueReplay(r.p, r.shared)
 		}
-		rt.enqueueReplay(&p, m.Event.Shared)
 		// Reprocess events are not individually acknowledged (Figure 5
 		// tracks ACKs only for puts).
 
@@ -187,7 +245,7 @@ func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 		out := &sbi.Message{Type: sbi.MsgChunk, ID: m.ID, Compressed: m.Compressed}
 		out.SetChunks(pending)
 		pending = nil
-		return conn.Send(out)
+		return conn.SendDeferred(out)
 	}
 	err := rt.logic.GetPerflow(class, m.Match, func(key packet.FlowKey, build func(mark func()) ([]byte, error)) error {
 		// build invokes mark under the logic's lock immediately before
@@ -212,18 +270,18 @@ func (rt *Runtime) serveGetPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 		err = flush()
 	}
 	if err != nil {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
 	// The get's ACK (Figure 5): all matching chunks have been exported.
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: count})
+	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: count})
 }
 
 func (rt *Runtime) servePutPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
 	rt.activeOps.Add(1)
 	defer rt.activeOps.Add(-1)
 	if m.ChunkCount() == 0 {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: "mbox: put without chunk"})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: "mbox: put without chunk"})
 		return
 	}
 	installed := 0
@@ -245,12 +303,12 @@ func (rt *Runtime) servePutPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 		}
 	})
 	if err != nil {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
 	// The put's ACK: every chunk in the frame is installed and replayed
 	// events for their keys may now be applied.
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: installed})
+	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: installed})
 }
 
 func (rt *Runtime) serveDelPerflow(conn *sbi.Conn, m *sbi.Message, class state.Class) {
@@ -258,13 +316,13 @@ func (rt *Runtime) serveDelPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 	defer rt.activeOps.Add(-1)
 	n, err := rt.logic.DelPerflow(class, m.Match)
 	if err != nil {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
 	// Completing a move ends the transaction for these keys; Enable
 	// doubles as "also clear the shared mark" for clone/merge endings.
 	rt.clearMarks(m.Match, class, m.Enable)
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: n})
+	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: n})
 }
 
 func (rt *Runtime) serveGetShared(conn *sbi.Conn, m *sbi.Message, class state.Class) {
@@ -273,17 +331,17 @@ func (rt *Runtime) serveGetShared(conn *sbi.Conn, m *sbi.Message, class state.Cl
 	blob, err := rt.logic.GetShared(class, func() { rt.markShared(class) })
 	if errors.Is(err, ErrNoSharedState) {
 		// Absent class: an empty transfer, not a failure (Count 0).
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 0})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 0})
 		return
 	}
 	if err != nil {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
 	if m.Compressed {
 		blob = deflate(blob)
 	}
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Blob: rt.sealer.Seal(blob), Compressed: m.Compressed, Count: 1})
+	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Blob: rt.sealer.Seal(blob), Compressed: m.Compressed, Count: 1})
 }
 
 func (rt *Runtime) servePutShared(conn *sbi.Conn, m *sbi.Message, class state.Class) {
@@ -297,18 +355,18 @@ func (rt *Runtime) servePutShared(conn *sbi.Conn, m *sbi.Message, class state.Cl
 		err = rt.logic.PutShared(class, blob)
 	}
 	if err != nil {
-		_ = conn.Send(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgError, ID: m.ID, Error: err.Error()})
 		return
 	}
-	_ = conn.Send(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 1})
+	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: 1})
 }
 
 func (rt *Runtime) enqueueReplay(p *packet.Packet, shared bool) {
 	rt.pending.Add(1)
-	select {
-	case rt.inReplay <- replayItem{p: p, shared: shared}:
-	default:
+	if !rt.ring.tryPush(ingressItem{p: p, replay: true, shared: shared}) {
+		rt.droppedReplays.Add(1)
 		rt.pending.Add(-1)
+		p.Release()
 	}
 }
 
@@ -333,4 +391,11 @@ func inflate(b []byte) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(b))
 	defer r.Close()
 	return io.ReadAll(r)
+}
+
+// replayJob is one validated reprocess event awaiting enqueue (batched
+// frames validate every event before enqueuing any).
+type replayJob struct {
+	p      *packet.Packet
+	shared bool
 }

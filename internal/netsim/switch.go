@@ -200,8 +200,12 @@ func NewHost(n *Network, name string, limit int) *Host {
 // Name returns the host's network name.
 func (h *Host) Name() string { return h.name }
 
-// HandlePacket records the packet. A recorded packet keeps the borrowed
-// reference until Reset; packets beyond the record limit are released.
+// HandlePacket records the packet and disposes of the borrow. Pooled
+// packets are copied out — a detached heap copy goes into the record and
+// the original returns to its pool immediately — so a recording host never
+// pins pool capacity for its own lifetime (heap packets are recorded as-is;
+// nothing else owns them and their Release is a no-op). Packets beyond the
+// record limit are counted and released.
 func (h *Host) HandlePacket(p *packet.Packet) {
 	if h.OnPacket != nil {
 		h.OnPacket(p)
@@ -209,8 +213,15 @@ func (h *Host) HandlePacket(p *packet.Packet) {
 	h.mu.Lock()
 	h.count++
 	if len(h.received) < h.limit {
-		h.received = append(h.received, p)
+		rec := p
+		if p.Pooled() {
+			rec = p.CloneDetached()
+		}
+		h.received = append(h.received, rec)
 		h.mu.Unlock()
+		if rec != p {
+			p.Release()
+		}
 		return
 	}
 	h.mu.Unlock()
@@ -220,7 +231,9 @@ func (h *Host) HandlePacket(p *packet.Packet) {
 // Send transmits a packet toward a connected neighbor.
 func (h *Host) Send(to string, p *packet.Packet) error { return h.net.Send(h.name, to, p) }
 
-// Received returns a snapshot of recorded packets.
+// Received returns a snapshot of recorded packets. The records are owned by
+// the host (pooled deliveries were copied out at arrival), so callers may
+// inspect them without reference bookkeeping.
 func (h *Host) Received() []*packet.Packet {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -235,15 +248,12 @@ func (h *Host) Count() uint64 {
 	return h.count
 }
 
-// Reset clears the recorded packets and count, releasing the references the
-// records held.
+// Reset clears the recorded packets and count. Records are host-owned
+// copies (see HandlePacket), so there are no pool references to return —
+// dropping them is enough.
 func (h *Host) Reset() {
 	h.mu.Lock()
-	recorded := h.received
 	h.received = nil
 	h.count = 0
 	h.mu.Unlock()
-	for _, p := range recorded {
-		p.Release()
-	}
 }

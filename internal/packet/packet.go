@@ -156,6 +156,21 @@ func (p *Packet) Clone() *Packet {
 	return q
 }
 
+// CloneDetached returns a heap deep copy of p outside any pool, whatever
+// p's origin. Recording endpoints use it to copy a delivered packet out and
+// release the pooled original immediately, instead of retaining it — a
+// retained record would pin a pool packet for the recorder's whole
+// lifetime.
+func (p *Packet) CloneDetached() *Packet {
+	q := &Packet{}
+	p.copyFieldsTo(q)
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return q
+}
+
 // Flow returns the directed flow key of the packet.
 func (p *Packet) Flow() FlowKey {
 	return FlowKey{

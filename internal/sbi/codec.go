@@ -46,7 +46,10 @@ func ParseCodec(s string) (Codec, error) {
 
 // wireCodec frames Messages over buffered streams. Implementations are bound
 // to one Conn's reader/writer; encode and decode are each externally
-// serialized by the Conn's send/receive mutexes.
+// serialized by the Conn's send/receive mutexes. encode appends the frame to
+// the buffered writer without flushing — when the bytes reach the transport
+// is the Conn's decision (see Conn's coalesced-flushing notes), not the
+// codec's.
 type wireCodec interface {
 	name() Codec
 	encode(m *Message) error
@@ -69,10 +72,7 @@ func newJSONCodec(br *bufio.Reader, bw *bufio.Writer) *jsonCodec {
 func (c *jsonCodec) name() Codec { return CodecJSON }
 
 func (c *jsonCodec) encode(m *Message) error {
-	if err := c.enc.Encode(m); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.enc.Encode(m)
 }
 
 func (c *jsonCodec) decode() (*Message, error) {
@@ -133,11 +133,12 @@ const (
 	fEvent
 	fError
 	fHandoff
+	fEvents
 )
 
 // knownFields masks every bit this implementation understands; frames with
 // other bits set are from a newer, incompatible binary protocol.
-const knownFields = fHandoff<<1 - 1
+const knownFields = fEvents<<1 - 1
 
 // Event-presence bits (one byte).
 const (
@@ -228,6 +229,9 @@ func (c *binaryCodec) encode(m *Message) error {
 	if m.Event != nil {
 		keysOK = keysOK && flowKeyBinaryOK(m.Event.Key)
 	}
+	for _, ev := range m.Events {
+		keysOK = keysOK && flowKeyBinaryOK(ev.Key)
+	}
 	if m.Handoff != nil {
 		for i := range m.Handoff.Keys {
 			hk := &m.Handoff.Keys[i]
@@ -303,6 +307,9 @@ func (c *binaryCodec) encode(m *Message) error {
 	}
 	if m.Handoff != nil {
 		flags |= fHandoff
+	}
+	if len(m.Events) > 0 {
+		flags |= fEvents
 	}
 	body = binary.BigEndian.AppendUint32(body, flags)
 	body = appendUvarint(body, m.ID)
@@ -390,6 +397,12 @@ func (c *binaryCodec) encode(m *Message) error {
 			for _, ev := range hk.Events {
 				body = appendEvent(body, ev)
 			}
+		}
+	}
+	if flags&fEvents != 0 {
+		body = appendUvarint(body, uint64(len(m.Events)))
+		for _, ev := range m.Events {
+			body = appendEvent(body, ev)
 		}
 	}
 
@@ -691,6 +704,21 @@ func (c *binaryCodec) decode() (*Message, error) {
 		}
 		if r.err == nil {
 			m.Handoff = h
+		}
+	}
+	if flags&fEvents != 0 {
+		n := r.uvarint("events")
+		// Each event costs at least its presence byte, kind length, and
+		// seq — a count beyond the frame size is corrupt.
+		if r.err == nil && n > uint64(len(body)) {
+			return nil, fmt.Errorf("sbi: binary decode: event count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			ev, err := decodeEvent(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Events = append(m.Events, ev)
 		}
 	}
 	if r.err != nil {

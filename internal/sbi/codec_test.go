@@ -29,6 +29,11 @@ func roundTrip(t *testing.T, codec Codec, m *Message) *Message {
 	if err := c.encode(m); err != nil {
 		t.Fatalf("%s encode: %v", codec, err)
 	}
+	// Codecs no longer flush per frame (the Conn owns flushing); the test
+	// harness plays that role here.
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("%s flush: %v", codec, err)
+	}
 	got, err := c.decode()
 	if err != nil {
 		t.Fatalf("%s decode: %v", codec, err)
@@ -78,6 +83,16 @@ func testMessages() []*Message {
 			Values: map[string]string{"service": "http", "os": "linux/unix"},
 		}},
 		{Type: MsgEvent, Event: &Event{Kind: EventIntrospection, Seq: 1}}, // zero key
+		{Type: MsgEvent, Events: []*Event{ // coalesced event batch
+			{Kind: EventReprocess, Key: k, Seq: 41, Class: state.Supporting, Packet: []byte{1, 2}},
+			{Kind: EventIntrospection, Key: k2, Code: "nat.mapping.created", Seq: 42,
+				Values: map[string]string{"port": "1024"}},
+			{Kind: EventReprocess, Key: k2, Seq: 43, Class: state.Reporting, Shared: true, Packet: []byte{3}},
+		}},
+		{Type: MsgRequest, ID: 19, Op: OpReprocess, Events: []*Event{ // batched reprocess delivery
+			{Kind: EventReprocess, Key: k, Seq: 50, Class: state.Supporting, Packet: []byte{7, 8, 9}},
+			{Kind: EventReprocess, Key: k, Seq: 51, Class: state.Supporting, Packet: []byte{10}},
+		}},
 		{Type: MsgError, ID: 20, Error: "mbox: unknown op \"frobnicate\""},
 		{Type: MsgRequest, ID: 21, Op: OpTransferOwnership, Handoff: &Handoff{
 			MB: "prads1",
@@ -146,13 +161,20 @@ func TestCodecEquivalenceRandom(t *testing.T) {
 				}
 			}
 		case 1:
-			m = &Message{
-				Type: MsgEvent,
-				Event: &Event{
+			randEvent := func() *Event {
+				return &Event{
 					Kind: EventReprocess, Key: randKey(), Seq: rng.Uint64(),
 					Class: state.Class(1 + rng.Intn(3)), Shared: rng.Intn(2) == 0,
 					Packet: randBlob(),
-				},
+				}
+			}
+			m = &Message{Type: MsgEvent}
+			if n := rng.Intn(5); n == 0 {
+				m.Event = randEvent()
+			} else {
+				for j := 0; j < n; j++ {
+					m.Events = append(m.Events, randEvent())
+				}
 			}
 		case 2:
 			m = &Message{
@@ -338,6 +360,9 @@ func benchCodec(b *testing.B, codec Codec, m *Message) {
 		buf.Reset()
 		br.Reset(&buf)
 		if err := c.encode(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := c.decode(); err != nil {

@@ -6,12 +6,68 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 )
+
+// coalesceDefault selects the write-path mode NewConn captures: coalesced
+// flushing (the default) or the seed's flush-per-frame path, settable by
+// OPENMB_COALESCE and cmd flags so `go test -bench` sweeps flip both ends of
+// every connection at once (mirroring OPENMB_ZEROCOPY / OPENMB_SHARDS).
+var coalesceDefault atomic.Bool
+
+func init() {
+	coalesceDefault.Store(true)
+	switch v := os.Getenv("OPENMB_COALESCE"); v {
+	case "", "1", "on", "true", "yes":
+	case "0", "off", "false", "no":
+		coalesceDefault.Store(false)
+	default:
+		// A typo'd sweep config must not silently run the wrong mode and
+		// mislabel the resulting numbers.
+		panic("sbi: OPENMB_COALESCE: want on/off (or 1/0), got " + v)
+	}
+}
+
+// SetCoalesceDefault sets the write-path mode NewConn selects: coalesced
+// flushing (flush-on-idle plus deferred stream flushes) or the seed's
+// flush-per-frame ablation.
+func SetCoalesceDefault(on bool) { coalesceDefault.Store(on) }
+
+// CoalesceDefault reports the write-path mode NewConn currently selects.
+// The mbox runtime also keys its event batching off it, so one knob flips
+// the whole coalesced wire path.
+func CoalesceDefault() bool { return coalesceDefault.Load() }
 
 // Conn frames Messages over a byte stream. Send is safe for concurrent use;
 // the paper's controller dedicates one thread per MB to state operations and
 // one to events, both of which write to the same connection.
+//
+// # Write path: coalesced flushing
+//
+// Encoding appends frames to a buffered writer; when and how the buffer is
+// flushed is the per-message overhead the Figure 9(c)/(d) and Figure 10
+// experiments measure. In the default (coalesced) mode:
+//
+//   - Send encodes the frame, marks the writer dirty, and flushes only when
+//     no other flushing sender (Send or Flush — never SendDeferred, which
+//     would not honor the inheritance) is waiting on the send mutex —
+//     flush-on-idle. The last flushing sender out always flushes, so a
+//     frame never sits unflushed once the send path goes quiescent; no
+//     timer goroutine is needed. Under contention (the move pipeline's put
+//     workers, event forwarding racing a stream) consecutive frames share
+//     one flush.
+//   - SendDeferred encodes without flushing at all, for producers that know
+//     more frames follow immediately (the middlebox get streamer, reply
+//     coalescing in the southbound serve loop). The stream's terminating
+//     Send — or an explicit Flush — publishes the tail; the buffered writer
+//     auto-writes full buffers meanwhile, so long streams still make
+//     progress in buffer-sized blocks.
+//
+// With coalescing off (OPENMB_COALESCE=off, the measurable ablation) both
+// methods flush per frame, reproducing the seed's one-write-per-message
+// wire path exactly.
 //
 // A Conn starts in the JSON codec (newline-delimited JSON, the paper
 // prototype's format). After the hello exchange both ends may switch to the
@@ -24,6 +80,23 @@ type Conn struct {
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 
+	// flushers counts goroutines inside the FLUSHING send operations —
+	// Send and Flush, not SendDeferred: incremented before taking sendMu,
+	// decremented while still holding it. A Send whose decrement leaves
+	// other flushers accounted for skips its flush — whoever is waiting
+	// inherits the dirty buffer and repeats the test, so the last
+	// flushing sender out always flushes (the flush-on-idle invariant).
+	// Deferred senders must not be counted: they never flush, so a Send
+	// deferring to one would strand its frame in the buffer.
+	flushers atomic.Int32
+
+	// coalesce selects the write-path mode, captured from the package
+	// default at construction (immutable afterwards).
+	coalesce bool
+
+	// dirty marks encoded-but-unflushed bytes; guarded by sendMu.
+	dirty bool
+
 	// codec is guarded by both mutexes: readers hold recvMu, writers hold
 	// sendMu, and Upgrade holds both.
 	codec wireCodec
@@ -31,16 +104,21 @@ type Conn struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	// Stats counters, read via Counters. Updated under sendMu/recvMu.
-	sent, received uint64
+	// Stats counters, read via Counters. Atomics, not mutex-guarded state:
+	// Receive holds recvMu for the whole blocking read on an idle
+	// connection, so a lock-taking snapshot would stall until the next
+	// frame arrives.
+	sent, received, flushes atomic.Uint64
 }
 
-// NewConn wraps a transport connection. The initial codec is JSON.
+// NewConn wraps a transport connection. The initial codec is JSON; the
+// write-path mode is the package default (see SetCoalesceDefault).
 func NewConn(raw net.Conn) *Conn {
 	c := &Conn{
-		raw: raw,
-		br:  bufio.NewReaderSize(raw, 64<<10),
-		bw:  bufio.NewWriterSize(raw, 64<<10),
+		raw:      raw,
+		br:       bufio.NewReaderSize(raw, 64<<10),
+		bw:       bufio.NewWriterSize(raw, 64<<10),
+		coalesce: coalesceDefault.Load(),
 	}
 	c.codec = newJSONCodec(c.br, c.bw)
 	return c
@@ -65,6 +143,10 @@ func (c *Conn) Upgrade(codec Codec) error {
 	defer c.sendMu.Unlock()
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	// Publish any frames encoded under the old codec before switching.
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
 	if parsed == c.codec.name() {
 		return nil
 	}
@@ -77,15 +159,92 @@ func (c *Conn) Upgrade(codec Codec) error {
 	return nil
 }
 
-// Send encodes one message. It may be called from multiple goroutines.
+// flushLocked flushes the buffered writer if it holds unflushed frames,
+// counting the flush. Caller holds sendMu.
+func (c *Conn) flushLocked() error {
+	if !c.dirty {
+		return nil
+	}
+	c.dirty = false
+	c.flushes.Add(1)
+	return c.bw.Flush()
+}
+
+// Send encodes one message and guarantees it reaches the transport once the
+// send path goes quiescent (see the write-path notes on Conn). It may be
+// called from multiple goroutines.
 func (c *Conn) Send(m *Message) error {
+	c.flushers.Add(1)
 	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
-	if err := c.codec.encode(m); err != nil {
+	err := c.codec.encode(m)
+	if err == nil {
+		c.sent.Add(1)
+		c.dirty = true
+	}
+	// The decrement must happen while sendMu is still held: decrementing
+	// after unlock would let a waiter observe our stale count, skip its own
+	// flush, and leave the final frame stranded in the buffer.
+	idle := c.flushers.Add(-1) == 0
+	if !c.coalesce || idle {
+		if ferr := c.flushLocked(); err == nil {
+			err = ferr
+		}
+	}
+	c.sendMu.Unlock()
+	if err != nil {
 		return fmt.Errorf("sbi: send: %w", err)
 	}
-	c.sent++
 	return nil
+}
+
+// SendDeferred encodes one message without flushing, for stream producers
+// with more frames immediately behind it. The frame is published by the
+// buffered writer filling, by any concurrent or later Send going quiescent,
+// or by an explicit Flush — every stream must end in one of the latter two
+// (the middlebox streamer's terminating done/error Send, the southbound
+// loop's flush-at-idle). With coalescing off it flushes per frame, exactly
+// like Send.
+func (c *Conn) SendDeferred(m *Message) error {
+	// Deliberately NOT counted in flushers: a deferred sender never
+	// flushes, so a concurrent Send must not defer its flush to this one
+	// (the frames a deferred sender leaves behind are the later flushing
+	// operation's responsibility, per the producer contract above).
+	c.sendMu.Lock()
+	err := c.codec.encode(m)
+	if err == nil {
+		c.sent.Add(1)
+		c.dirty = true
+	}
+	if !c.coalesce {
+		if ferr := c.flushLocked(); err == nil {
+			err = ferr
+		}
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("sbi: send: %w", err)
+	}
+	return nil
+}
+
+// Flush publishes any deferred frames to the transport. It counts as a
+// flushing sender, so a concurrent Send may safely defer to it.
+func (c *Conn) Flush() error {
+	c.flushers.Add(1)
+	c.sendMu.Lock()
+	err := c.flushLocked()
+	c.flushers.Add(-1)
+	c.sendMu.Unlock()
+	return err
+}
+
+// ReadBuffered reports how many received bytes are already buffered and
+// decodable without touching the transport. The southbound serve loop uses
+// it for reply coalescing: while more requests are already queued, replies
+// stay deferred; when the loop is about to block on the transport, it
+// flushes.
+func (c *Conn) ReadBuffered() int {
+	return c.br.Buffered()
 }
 
 // Receive decodes the next message. Only one goroutine should receive.
@@ -99,19 +258,33 @@ func (c *Conn) Receive() (*Message, error) {
 		}
 		return nil, fmt.Errorf("sbi: receive: %w", err)
 	}
-	c.received++
+	c.received.Add(1)
 	return m, nil
 }
 
-// Counters returns the number of messages sent and received.
-func (c *Conn) Counters() (sent, received uint64) {
-	c.sendMu.Lock()
-	sent = c.sent
-	c.sendMu.Unlock()
-	c.recvMu.Lock()
-	received = c.received
-	c.recvMu.Unlock()
-	return sent, received
+// Counters is a snapshot of a connection's wire counters. Sent/Flushes is
+// the frames-per-flush ratio the coalesced write path exists to raise: the
+// ablation pins it at 1, the coalesced path amortizes many frames per
+// transport write.
+type Counters struct {
+	// Sent and Received count frames encoded and decoded.
+	Sent, Received uint64
+	// Flushes counts explicit buffered-writer flushes that published
+	// frames (empty flushes are not counted; neither are the writer's
+	// internal full-buffer writes, which cost a syscall but no latency
+	// decision).
+	Flushes uint64
+}
+
+// Counters returns a snapshot of the connection's frame and flush counters.
+// It never takes the connection mutexes, so it is safe to call while the
+// read loop is parked inside Receive.
+func (c *Conn) Counters() Counters {
+	return Counters{
+		Sent:     c.sent.Load(),
+		Received: c.received.Load(),
+		Flushes:  c.flushes.Load(),
+	}
 }
 
 // Close closes the underlying transport. Safe to call multiple times.

@@ -25,6 +25,9 @@ func encodeBinary(tb testing.TB, m *Message) []byte {
 	if err := c.encode(m); err != nil {
 		tb.Fatalf("seed encode: %v", err)
 	}
+	if err := bw.Flush(); err != nil {
+		tb.Fatalf("seed flush: %v", err)
+	}
 	return buf.Bytes()
 }
 
@@ -37,14 +40,28 @@ func decodeBinary(raw []byte) (*Message, error) {
 // seedCorpus adds every equivalence-corpus message's binary frame (the
 // messages with non-IPv4 keys cannot encode and are skipped).
 func seedCorpus(f *testing.F) {
+	for _, frame := range seedFrames() {
+		f.Add(frame)
+	}
+}
+
+// seedFrames renders every encodable equivalence-corpus message as a binary
+// frame (the messages with non-IPv4 keys cannot encode and are skipped).
+func seedFrames() [][]byte {
+	var frames [][]byte
 	for _, m := range testMessages() {
 		var buf bytes.Buffer
-		c := newBinaryCodec(bufio.NewReader(&buf), bufio.NewWriter(&buf))
+		bw := bufio.NewWriter(&buf)
+		c := newBinaryCodec(bufio.NewReader(&buf), bw)
 		if err := c.encode(m); err != nil {
 			continue
 		}
-		f.Add(buf.Bytes())
+		if err := bw.Flush(); err != nil {
+			continue
+		}
+		frames = append(frames, buf.Bytes())
 	}
+	return frames
 }
 
 // FuzzBinaryRoundTrip: any frame the decoder accepts must re-encode and
@@ -73,15 +90,7 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 // hangs, or reads past the frame. The fuzz input picks the seed frame, a
 // cut point, and a bit to flip.
 func FuzzBinaryRejectsCorrupt(f *testing.F) {
-	seeds := [][]byte{}
-	for _, m := range testMessages() {
-		var buf bytes.Buffer
-		c := newBinaryCodec(bufio.NewReader(&buf), bufio.NewWriter(&buf))
-		if err := c.encode(m); err != nil {
-			continue
-		}
-		seeds = append(seeds, buf.Bytes())
-	}
+	seeds := seedFrames()
 	for i := range seeds {
 		f.Add(i, 4, 0)
 		f.Add(i, len(seeds[i])/2, 13)

@@ -203,7 +203,10 @@ type Message struct {
 	Compressed bool `json:"compressed,omitempty"`
 	// Batch, on a get request, asks the middlebox to pack up to this many
 	// state chunks into each MsgChunk frame (0 and 1 mean one chunk per
-	// frame, the paper's original framing).
+	// frame, the paper's original framing). On a hello it announces the
+	// largest Events batch the middlebox is willing to receive per
+	// OpReprocess frame (0 and 1 mean unbatched delivery, so peers that
+	// predate event batching keep the per-event framing).
 	Batch int `json:"batch,omitempty"`
 
 	// Chunk payload (MsgChunk, and OpPut*Perflow requests).
@@ -218,14 +221,84 @@ type Message struct {
 	Entries []state.Entry `json:"entries,omitempty"`
 	Stats   *StatsReply   `json:"stats,omitempty"`
 
-	// Event payload (MsgEvent).
+	// Event payload (MsgEvent, and OpReprocess requests).
 	Event *Event `json:"event,omitempty"`
+	// Events is the batched event payload: one MsgEvent frame (middlebox to
+	// controller) or one OpReprocess request (controller to middlebox)
+	// carrying several events raised within one coalescing window, in seq
+	// order. Event and Events may not both be set; a lone event travels in
+	// Event, the paper's one-event framing, so unbatched peers interoperate.
+	// A middlebox announces willingness to RECEIVE batched reprocess frames
+	// with the Batch field of its hello; see docs/SBI.md.
+	Events []*Event `json:"events,omitempty"`
 
 	// Handoff payload (OpTransferOwnership requests).
 	Handoff *Handoff `json:"handoff,omitempty"`
 
 	// Error payload (MsgError).
 	Error string `json:"error,omitempty"`
+}
+
+// MaxEventsPerFrame bounds how many events one frame may carry: deep enough
+// that a whole coalescing window's burst travels in one frame, shallow
+// enough that a frame of packet-bearing reprocess events stays far below
+// the binary codec's frame limit. Runtimes announce it in their hello.
+const MaxEventsPerFrame = 64
+
+// EventCount returns the number of events the frame carries.
+func (m *Message) EventCount() int {
+	n := len(m.Events)
+	if m.Event != nil {
+		n++
+	}
+	return n
+}
+
+// EachEvent invokes fn for every event in the frame, covering both the
+// single-event and the batched representation, in wire (seq) order.
+func (m *Message) EachEvent(fn func(ev *Event)) {
+	if m.Event != nil {
+		fn(m.Event)
+	}
+	for _, ev := range m.Events {
+		fn(ev)
+	}
+}
+
+// SetEvents stores the frame's event payload in the canonical wire
+// representation: exactly one event travels in the Event field (the paper's
+// one-event framing), several travel in the Events array. Every producer of
+// event frames — the mbox outbox flusher and the controller's reprocess
+// forwarding — uses this helper so the single-versus-batched choice is made
+// in one place, mirroring SetChunks.
+func (m *Message) SetEvents(evs []*Event) {
+	if len(evs) == 1 {
+		m.Event, m.Events = evs[0], nil
+		return
+	}
+	m.Event, m.Events = nil, evs
+}
+
+// FrameEvents splits evs into frames of at most batch each (batch < 1 means
+// 1, the per-event framing) and invokes fn per frame, stopping at the first
+// error. Mirrors FrameChunks.
+func FrameEvents(evs []*Event, batch int, fn func(frame []*Event) error) error {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > MaxEventsPerFrame {
+		batch = MaxEventsPerFrame
+	}
+	for lo := 0; lo < len(evs); lo += batch {
+		hi := lo + batch
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if err := fn(evs[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ChunkCount returns the number of state chunks the frame carries.

@@ -132,9 +132,8 @@ func TestConcurrentSends(t *testing.T) {
 		seen[m.ID] = true
 	}
 	wg.Wait()
-	sent, _ := c1.Counters()
-	if sent != n {
-		t.Fatalf("sent counter: %d", sent)
+	if got := c1.Counters().Sent; got != n {
+		t.Fatalf("sent counter: %d", got)
 	}
 }
 

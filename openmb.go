@@ -116,6 +116,14 @@ const (
 // RuntimeOptions layer).
 func ParseCodec(s string) (Codec, error) { return sbi.ParseCodec(s) }
 
+// SetCoalesceDefault selects the SBI write-path mode new connections use:
+// coalesced flushing with batched events (the default) or the seed's
+// flush-per-frame ablation. Also settable with OPENMB_COALESCE=off.
+func SetCoalesceDefault(on bool) { sbi.SetCoalesceDefault(on) }
+
+// CoalesceDefault reports the SBI write-path mode new connections will use.
+func CoalesceDefault() bool { return sbi.CoalesceDefault() }
+
 // Event is a middlebox-raised notification (reprocess or introspection).
 type Event = sbi.Event
 

@@ -206,7 +206,14 @@ func TestBedTraceReplayBorrowDiscipline(t *testing.T) {
 	if dst.Count() == 0 {
 		t.Fatal("no packets made it through the chain")
 	}
-	dst.Reset()
+	// The recording host copies deliveries out and releases the pooled
+	// originals at arrival (Host.Received copy-out), so the accounting
+	// pool must balance with the records still held — no Reset needed.
+	for _, p := range dst.Received() {
+		if p.Pooled() {
+			t.Fatal("recording host retained a pooled packet; copy-out is not copying")
+		}
+	}
 	if err := b.Pool.CheckLeaks(); err != nil {
 		t.Fatal(err)
 	}
