@@ -2,7 +2,7 @@
 // evaluation (§8) and prints them as text tables. Run with -exp all (the
 // default) or a comma-separated subset of experiment ids:
 //
-//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan
+//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos
 //
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
@@ -113,6 +113,12 @@ func main() {
 		{"comp", func() (*eval.Table, error) { return eval.CompressionAblation(pick(full, 500, 200)) }},
 		{"scan", func() (*eval.Table, error) {
 			return eval.AblationLinearScan(100, pickSlice(full, []int{2000, 8000, 32000}, []int{1000, 4000, 16000}))
+		}},
+		{"chaos", func() (*eval.Table, error) {
+			return eval.RecoveryUnderFailure(eval.ChaosConfig{
+				Pairs:  pick(full, 4, 2),
+				Chunks: pick(full, 2000, 600),
+			})
 		}},
 	}
 

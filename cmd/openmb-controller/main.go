@@ -33,6 +33,9 @@ func main() {
 	shards := flag.Int("shards", envInt("OPENMB_SHARDS", 0), "transaction-router shards per replica (0 = auto from GOMAXPROCS, 1 = serialized ablation; default from OPENMB_SHARDS)")
 	replicas := flag.Int("replicas", envInt("OPENMB_REPLICAS", 1), "controller replicas in the cluster (1 = single-controller; default from OPENMB_REPLICAS)")
 	rebalance := flag.Duration("rebalance", 0, "interval between live handoffs rotating one middlebox to the next replica (0 = never)")
+	heartbeat := flag.Duration("heartbeat", envDuration("OPENMB_HEARTBEAT", 0), "liveness probe interval for idle middlebox connections (0 = no heartbeats; default from OPENMB_HEARTBEAT)")
+	misses := flag.Int("heartbeat-misses", 0, "silent heartbeat intervals before a connection is declared dead (0 = default 3)")
+	helloTimeout := flag.Duration("hello-timeout", 0, "read deadline for a new connection's hello frame (0 = default 10s)")
 	events := flag.Bool("log-events", true, "log introspection events")
 	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	flag.Parse()
@@ -41,10 +44,13 @@ func main() {
 	cluster := openmb.NewCluster(openmb.ClusterOptions{
 		Replicas: *replicas,
 		Controller: openmb.ControllerOptions{
-			QuietPeriod: *quiet,
-			Compress:    *compress,
-			BatchSize:   *batch,
-			Shards:      *shards,
+			QuietPeriod:       *quiet,
+			Compress:          *compress,
+			BatchSize:         *batch,
+			Shards:            *shards,
+			HeartbeatInterval: *heartbeat,
+			HeartbeatMisses:   *misses,
+			HelloTimeout:      *helloTimeout,
 		},
 	})
 	if *events {
@@ -55,8 +61,8 @@ func main() {
 	if err := cluster.Serve(openmb.TCPTransport{}, *listen); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d)",
-		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards())
+	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d, heartbeat=%v)",
+		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards(), *heartbeat)
 
 	// Periodically report the registered middleboxes and their replicas.
 	go func() {
@@ -110,6 +116,21 @@ func describeOwners(cl *openmb.Cluster) []string {
 		out = append(out, fmt.Sprintf("%s@%d", n, r))
 	}
 	return out
+}
+
+// envDuration reads a duration default for a flag, with the same
+// start-anyway policy as envInt.
+func envDuration(key string, fallback time.Duration) time.Duration {
+	env := os.Getenv(key)
+	if env == "" {
+		return fallback
+	}
+	d, err := time.ParseDuration(env)
+	if err != nil || d < 0 {
+		log.Printf("openmb-controller: ignoring %s=%q: want a non-negative duration", key, env)
+		return fallback
+	}
+	return d
 }
 
 // envInt reads an integer default for a flag; fallback when unset or

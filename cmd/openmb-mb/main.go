@@ -31,6 +31,9 @@ func main() {
 	lbBackends := flag.String("lb-backends", "1.1.1.10:8080,1.1.1.11:8080", "comma-separated backends for -kind lb")
 	cacheBytes := flag.Int("cache-bytes", 1<<22, "cache capacity for -kind re-encoder/re-decoder")
 	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
+	reconnect := flag.Bool("reconnect", false, "redial the controller with exponential backoff when the southbound session drops")
+	reconnectMin := flag.Duration("reconnect-min", 0, "initial redial backoff (0 = default 50ms)")
+	reconnectMax := flag.Duration("reconnect-max", 0, "backoff ceiling (0 = default 2s)")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("openmb-mb: -name is required")
@@ -45,7 +48,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := openmb.NewRuntime(*name, logic, openmb.RuntimeOptions{Codec: codec})
+	rt := openmb.NewRuntime(*name, logic, openmb.RuntimeOptions{
+		Codec:        codec,
+		Reconnect:    *reconnect,
+		ReconnectMin: *reconnectMin,
+		ReconnectMax: *reconnectMax,
+	})
 	defer rt.Close()
 	if err := rt.Connect(openmb.TCPTransport{}, *controller); err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -44,6 +45,9 @@ type ClusterOptions struct {
 type Cluster struct {
 	replicas []*Controller
 	dir      *directory
+	// registry is the cluster-wide transaction registry every replica
+	// shares (see txnRegistry).
+	registry *txnRegistry
 
 	mu       sync.Mutex // serializes handoffs and listener state
 	listener net.Listener
@@ -58,13 +62,18 @@ func NewCluster(opts ClusterOptions) *Cluster {
 	if opts.Replicas < 1 {
 		opts.Replicas = 1
 	}
-	cl := &Cluster{dir: newDirectory(opts.Replicas)}
+	cl := &Cluster{dir: newDirectory(opts.Replicas), registry: newTxnRegistry()}
 	for i := 0; i < opts.Replicas; i++ {
 		c := NewController(opts.Controller)
 		// Replicas of a multi-replica cluster participate in handoffs;
 		// a replicas=1 cluster has nowhere to hand off to and keeps the
 		// single-controller fast path (the ablation stays exact).
 		c.clustered = opts.Replicas > 1
+		// All replicas share one transaction registry: IDs stay unique
+		// cluster-wide and FailReplica can sweep a dead replica's
+		// in-flight transactions. Replaced before any Serve, so no txn
+		// can have registered with the replica-private one.
+		c.registry = cl.registry
 		cl.replicas = append(cl.replicas, c)
 	}
 	return cl
@@ -105,11 +114,15 @@ func (cl *Cluster) acceptLoop(l net.Listener) {
 		}
 		go func() {
 			conn := sbi.NewConn(raw)
+			// Same hello bound as Controller.handleConn: a stalled or
+			// truncated hello must not pin this goroutine.
+			_ = conn.SetReadDeadline(time.Now().Add(cl.replicas[0].opts.HelloTimeout))
 			hello, err := conn.Receive()
 			if err != nil || hello.Type != sbi.MsgHello || hello.Name == "" {
 				conn.Close()
 				return
 			}
+			_ = conn.SetReadDeadline(time.Time{})
 			cl.replicas[cl.dir.owner(hello.Name)].serveMB(conn, hello)
 		}()
 	}
@@ -140,6 +153,37 @@ func (cl *Cluster) find(name string) (*Controller, *mbConn, error) {
 		}
 	}
 	return nil, nil, fmt.Errorf("core: unknown middlebox %q", name)
+}
+
+// findRetryWindow bounds how long findRetry keeps re-resolving a name that
+// does not resolve (or resolves onto a failed replica). Long enough to cover
+// a handoff freeze, a replica-failure migration, or a reconnecting
+// middlebox's first backoff; short enough that a genuinely unknown name
+// still fails fast.
+const findRetryWindow = 250 * time.Millisecond
+
+// findRetry is find with bounded retry: a name mid-handoff, mid-recovery,
+// or mid-reconnect transiently resolves nowhere (or to a replica declared
+// failed), and the northbound API should ride out that window instead of
+// surfacing a spurious unknown-middlebox error.
+func (cl *Cluster) findRetry(name string) (*Controller, *mbConn, error) {
+	deadline := time.Now().Add(findRetryWindow)
+	for {
+		c, mb, err := cl.find(name)
+		if err == nil && !c.failed.Load() {
+			return c, mb, nil
+		}
+		if !time.Now().Before(deadline) {
+			if err == nil {
+				// The connection never migrated off the failed replica
+				// (e.g. FailReplica is still mid-flight); hand it back
+				// rather than erroring — conn-level calls still work.
+				return c, mb, nil
+			}
+			return nil, nil, err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // ReplicaOf reports which replica currently serves the middlebox.
@@ -202,13 +246,14 @@ func (cl *Cluster) SubscribeIntrospection(fn func(mb string, ev *sbi.Event)) {
 }
 
 // The proxied single-MB operations below resolve the name cluster-wide
-// once and then call through the resolved connection: re-resolving by name
-// on the owning replica would race a concurrent Rebalance moving the name
-// away between the two lookups and fail a healthy middlebox.
+// once (with bounded retry, riding out handoff and recovery windows) and
+// then call through the resolved connection: re-resolving by name on the
+// owning replica would race a concurrent Rebalance moving the name away
+// between the two lookups and fail a healthy middlebox.
 
 // ReadConfig proxies to the middlebox's replica.
 func (cl *Cluster) ReadConfig(mbName, path string) ([]state.Entry, error) {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +262,7 @@ func (cl *Cluster) ReadConfig(mbName, path string) ([]state.Entry, error) {
 
 // WriteConfig proxies to the middlebox's replica.
 func (cl *Cluster) WriteConfig(mbName, path string, values []string) error {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return err
 	}
@@ -226,7 +271,7 @@ func (cl *Cluster) WriteConfig(mbName, path string, values []string) error {
 
 // WriteConfigAll proxies to the middlebox's replica.
 func (cl *Cluster) WriteConfigAll(mbName string, entries []state.Entry) error {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return err
 	}
@@ -235,7 +280,7 @@ func (cl *Cluster) WriteConfigAll(mbName string, entries []state.Entry) error {
 
 // DelConfig proxies to the middlebox's replica.
 func (cl *Cluster) DelConfig(mbName, path string) error {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return err
 	}
@@ -254,7 +299,7 @@ func (cl *Cluster) CloneConfig(srcMB, dstMB string) error {
 
 // Stats proxies to the middlebox's replica.
 func (cl *Cluster) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, error) {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return sbi.StatsReply{}, err
 	}
@@ -263,26 +308,44 @@ func (cl *Cluster) Stats(mbName string, m packet.FieldMatch) (sbi.StatsReply, er
 
 // SetEventFilter proxies to the middlebox's replica.
 func (cl *Cluster) SetEventFilter(mbName, codePrefix string, m packet.FieldMatch, enable bool) error {
-	c, mb, err := cl.find(mbName)
+	c, mb, err := cl.findRetry(mbName)
 	if err != nil {
 		return err
 	}
 	return c.setEventFilterConn(mb, codePrefix, m, enable, 0)
 }
 
+// moveAttempts bounds how many times MoveInternal restarts a move whose
+// coordinating replica was declared failed mid-flight.
+const moveAttempts = 3
+
 // MoveInternal moves per-flow state between middleboxes on any replicas.
 // The transaction runs on the source's replica (its completer finishes it;
 // its metrics count it); the destination is resolved cluster-wide.
+//
+// If the coordinating replica is declared failed mid-move (FailReplica),
+// the half-applied transfer is rolled back — per-flow marks cleared at the
+// source, stale-epoch routing state purged, half-installed state deleted at
+// the destination — and the move restarts on the connection's current
+// owner, up to moveAttempts times. The rollback restores "the move never
+// happened": live packets are always counted at the source, so wiping the
+// destination's partial copy leaves every packet accounted exactly once.
 func (cl *Cluster) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) error {
-	srcC, src, err := cl.find(srcMB)
-	if err != nil {
-		return err
+	for attempt := 1; ; attempt++ {
+		srcC, src, err := cl.findRetry(srcMB)
+		if err != nil {
+			return err
+		}
+		_, dst, err := cl.findRetry(dstMB)
+		if err != nil {
+			return err
+		}
+		err = srcC.moveConns(src, dst, m)
+		if err == nil || !errors.Is(err, ErrReplicaFailed) || attempt >= moveAttempts {
+			return err
+		}
+		cl.rollbackMove(src, dst, m)
 	}
-	_, dst, err := cl.find(dstMB)
-	if err != nil {
-		return err
-	}
-	return srcC.moveConns(src, dst, m)
 }
 
 // CloneSupport clones shared supporting state across partitions; see
@@ -301,15 +364,25 @@ func (cl *Cluster) MergeInternal(srcMB, dstMB string) error {
 }
 
 func (cl *Cluster) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op) error {
-	srcC, src, err := cl.find(srcMB)
-	if err != nil {
-		return err
+	for attempt := 1; ; attempt++ {
+		srcC, src, err := cl.findRetry(srcMB)
+		if err != nil {
+			return err
+		}
+		_, dst, err := cl.findRetry(dstMB)
+		if err != nil {
+			return err
+		}
+		err = srcC.sharedTransferConns(src, dst, getOps, putOps)
+		// Only the before-anything-started refusal is retryable: a shared
+		// transfer that aborted mid-flight may have merged some classes
+		// into the destination already, and restarting would merge them
+		// twice. (Mid-flight shared transfers are deliberately never
+		// aborted — see txnRegistry.abortController.)
+		if err == nil || !errors.Is(err, ErrReplicaFailed) || attempt >= moveAttempts {
+			return err
+		}
 	}
-	_, dst, err := cl.find(dstMB)
-	if err != nil {
-		return err
-	}
-	return srcC.sharedTransferConns(src, dst, getOps, putOps)
 }
 
 // WaitTxns blocks until every replica's in-flight transactions have
@@ -341,6 +414,8 @@ func (cl *Cluster) Metrics() Metrics {
 		sum.EventsBuffered += m.EventsBuffered
 		sum.ChunksMoved += m.ChunksMoved
 		sum.BytesMoved += m.BytesMoved
+		sum.PingsSent += m.PingsSent
+		sum.HeartbeatDeaths += m.HeartbeatDeaths
 	}
 	return sum
 }
@@ -371,11 +446,13 @@ const vnodesPerReplica = 64
 
 // directory maps middlebox names to replica indices: a consistent-hash ring
 // (so growing the replica set moves only ~1/N of the names) overlaid with
-// explicit assignments recording live handoffs.
+// explicit assignments recording live handoffs. Both the ring and the
+// overrides ride d.mu: the ring was immutable until replica failure —
+// removeReplica prunes a dead replica's points so the ring itself stops
+// answering with it.
 type directory struct {
-	points []ringPoint // sorted by hash
-
 	mu        sync.Mutex
+	points    []ringPoint // sorted by hash
 	overrides map[string]int
 }
 
@@ -412,9 +489,8 @@ func ringHash(s string) uint64 {
 // hash (wrapping).
 func (d *directory) owner(name string) int {
 	d.mu.Lock()
-	r, ok := d.overrides[name]
-	d.mu.Unlock()
-	if ok {
+	defer d.mu.Unlock()
+	if r, ok := d.overrides[name]; ok {
 		return r
 	}
 	h := ringHash(name)
@@ -430,4 +506,27 @@ func (d *directory) assign(name string, replica int) {
 	d.mu.Lock()
 	d.overrides[name] = replica
 	d.mu.Unlock()
+}
+
+// removeReplica excises a dead replica from the directory: its ring points
+// are pruned (names it owned by hash redistribute to the ring's survivors)
+// and its explicit assignments are dropped (those names fall back to the
+// pruned ring). After this, owner can never answer with the dead replica,
+// which is what lets FailReplica pick migration targets by simply asking
+// the directory.
+func (d *directory) removeReplica(replica int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.points[:0]
+	for _, p := range d.points {
+		if p.replica != replica {
+			kept = append(kept, p)
+		}
+	}
+	d.points = kept
+	for name, r := range d.overrides {
+		if r == replica {
+			delete(d.overrides, name)
+		}
+	}
 }

@@ -71,10 +71,18 @@ type clusterRig struct {
 
 func newClusterRig(t *testing.T, replicas, pairs int, gated bool) *clusterRig {
 	t.Helper()
+	return newClusterRigOpts(t, replicas, pairs, gated,
+		Options{QuietPeriod: 60 * time.Millisecond})
+}
+
+// newClusterRigOpts is newClusterRig with the controller options exposed —
+// the failure tests enable heartbeats and shorten hello timeouts.
+func newClusterRigOpts(t *testing.T, replicas, pairs int, gated bool, ctrl Options) *clusterRig {
+	t.Helper()
 	r := &clusterRig{
 		cl: NewCluster(ClusterOptions{
 			Replicas:   replicas,
-			Controller: Options{QuietPeriod: 60 * time.Millisecond},
+			Controller: ctrl,
 		}),
 		tr:  sbi.NewMemTransport(),
 		rts: map[string]*mbox.Runtime{},
@@ -543,6 +551,12 @@ func TestHandoffMessageCodecRoundTrip(t *testing.T) {
 			src.mb.handoffMu.Unlock()
 			if len(h.Keys) != 3 {
 				t.Fatalf("export produced %d records, want 3: %+v", len(h.Keys), h)
+			}
+			// The payload must name its transactions by registry ID: that
+			// is what lets replica-failure recovery abort the exact
+			// transactions a dead coordinator left in a handed-off table.
+			if len(h.Txns) != 1 || h.Txns[0] != tx.id {
+				t.Fatalf("export carried txn IDs %v, want [%d]", h.Txns, tx.id)
 			}
 
 			// Round-trip the frame over a real connection pair.

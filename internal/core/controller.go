@@ -64,6 +64,22 @@ type Options struct {
 	// held thousands of blocked goroutines, their per-call channels, and
 	// their pinned frames.
 	PutWorkers int
+	// HeartbeatInterval enables liveness probing of connected middleboxes:
+	// a connection quiet for one interval is sent an OpPing, and one quiet
+	// for HeartbeatMisses consecutive intervals is declared dead (its
+	// connection is closed, which drives the normal disconnect cleanup —
+	// failAll, routing purge, deregistration). 0 (the default) disables
+	// heartbeats; any frame received on the connection counts as liveness,
+	// so a busy middlebox is never pinged at all.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals kill a connection
+	// (default 3).
+	HeartbeatMisses int
+	// HelloTimeout bounds how long an accepted connection may take to
+	// deliver its hello (default 10 s). A peer that connects and stalls —
+	// a truncated hello, a half-open socket — is closed instead of pinning
+	// its accept goroutine forever.
+	HelloTimeout time.Duration
 }
 
 // maxShards caps the router shard count; beyond this, shard maps cost more
@@ -95,6 +111,12 @@ func (o *Options) setDefaults() {
 	if o.PutWorkers < 1 {
 		o.PutWorkers = 64
 	}
+	if o.HeartbeatMisses < 1 {
+		o.HeartbeatMisses = 3
+	}
+	if o.HelloTimeout == 0 {
+		o.HelloTimeout = 10 * time.Second
+	}
 }
 
 // ceilPow2 rounds n up to the next power of two.
@@ -115,6 +137,15 @@ type Controller struct {
 	// finishes quiescent transactions (see completer.go).
 	router    *txnRouter
 	completer *completer
+
+	// registry tracks live transactions under cluster-wide IDs; a Cluster
+	// replaces it with one shared across replicas (before any txn exists).
+	registry *txnRegistry
+
+	// failed marks a cluster replica declared dead by FailReplica. New
+	// northbound transactions refuse to start here (ErrReplicaFailed);
+	// everything already migrated runs on the survivors.
+	failed atomic.Bool
 
 	mu  sync.Mutex
 	mbs map[string]*mbConn
@@ -149,6 +180,8 @@ type Controller struct {
 	eventsBuffered  atomic.Uint64
 	chunksMoved     atomic.Uint64
 	bytesMoved      atomic.Uint64
+	pingsSent       atomic.Uint64
+	heartbeatDeaths atomic.Uint64
 }
 
 // NewController creates a controller with the given options.
@@ -157,6 +190,7 @@ func NewController(opts Options) *Controller {
 	c := &Controller{opts: opts, mbs: map[string]*mbConn{}, waiters: map[string][]chan struct{}{}}
 	c.router = newTxnRouter(opts.Shards)
 	c.completer = newCompleter(c)
+	c.registry = newTxnRegistry()
 	return c
 }
 
@@ -216,11 +250,15 @@ func (c *Controller) acceptLoop(l net.Listener) {
 }
 
 func (c *Controller) handleConn(conn *sbi.Conn) {
+	// Bound the hello wait: a peer that connects and then stalls (or sends
+	// a truncated hello) must time out, not pin this goroutine forever.
+	_ = conn.SetReadDeadline(time.Now().Add(c.opts.HelloTimeout))
 	hello, err := conn.Receive()
 	if err != nil || hello.Type != sbi.MsgHello || hello.Name == "" {
 		conn.Close()
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	c.serveMB(conn, hello)
 }
 
@@ -248,7 +286,13 @@ func (c *Controller) serveMB(conn *sbi.Conn, hello *sbi.Message) {
 	}
 	mb.eventWG.Add(1)
 	go mb.eventRouter()
+	if c.opts.HeartbeatInterval > 0 {
+		mb.pingWG.Add(1)
+		go mb.heartbeat(c)
+	}
 	err := mb.readLoop()
+	close(mb.pingStop)
+	mb.pingWG.Wait()
 	// The MB disconnected: drain the event router (queued events route
 	// against whatever transactions remain — the purge below cleans up),
 	// fail outstanding calls with the reason, drop the routing state, and
@@ -450,6 +494,10 @@ type Metrics struct {
 	EventsBuffered  uint64
 	ChunksMoved     uint64
 	BytesMoved      uint64
+	// PingsSent counts liveness probes issued; HeartbeatDeaths counts
+	// connections closed for exceeding the miss threshold.
+	PingsSent       uint64
+	HeartbeatDeaths uint64
 }
 
 // Metrics returns a snapshot of the controller's counters.
@@ -460,6 +508,8 @@ func (c *Controller) Metrics() Metrics {
 		EventsBuffered:  c.eventsBuffered.Load(),
 		ChunksMoved:     c.chunksMoved.Load(),
 		BytesMoved:      c.bytesMoved.Load(),
+		PingsSent:       c.pingsSent.Load(),
+		HeartbeatDeaths: c.heartbeatDeaths.Load(),
 	}
 }
 
@@ -554,6 +604,15 @@ type mbConn struct {
 	eventsRecv   atomic.Uint64
 	eventsRouted atomic.Uint64
 
+	// lastRecv is the unix-nano time of the last frame received on this
+	// connection — any frame: data, ACKs, events, and ping replies all
+	// prove liveness, so heartbeats only probe genuinely idle links.
+	lastRecv atomic.Int64
+	// pingStop ends the heartbeat goroutine when the read loop exits;
+	// pingWG lets serveMB join it before tearing the connection down.
+	pingStop chan struct{}
+	pingWG   sync.WaitGroup
+
 	// sharedTxn is the transaction that currently owns this MB's shared
 	// state: at most one clone/merge per source runs at a time.
 	sharedTxn atomic.Pointer[txn]
@@ -579,10 +638,52 @@ func newMBConn(name, kind string, conn *sbi.Conn, c *Controller) *mbConn {
 		name: name, kind: kind, conn: conn,
 		pending:   map[uint64]*call{},
 		eventQ:    make(chan *sbi.Message, eventQueueDepth),
+		pingStop:  make(chan struct{}),
 		noHandoff: !c.clustered,
 	}
+	mb.lastRecv.Store(time.Now().UnixNano())
 	mb.ctrl.Store(c)
 	return mb
+}
+
+// heartbeat probes this connection's liveness on behalf of the controller
+// that registered it (which keeps the options and counters stable if a
+// cluster handoff later moves the connection's routing state elsewhere).
+// Each tick it measures how long the link has been silent: past one
+// interval it sends an OpPing — fire-and-forget, from a short-lived
+// goroutine so a peer that has stopped reading (blocking our write) cannot
+// wedge the liveness clock — and past HeartbeatMisses intervals it closes
+// the connection, which unblocks any stuck ping write and drives the normal
+// disconnect cleanup in serveMB. The pong is a plain done frame (or an
+// unknown-op error from a pre-heartbeat peer — equally alive); either way
+// the read loop stamps lastRecv, so the probe needs no completion tracking.
+func (mb *mbConn) heartbeat(c *Controller) {
+	defer mb.pingWG.Done()
+	interval := c.opts.HeartbeatInterval
+	deadAfter := time.Duration(c.opts.HeartbeatMisses) * interval
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-mb.pingStop:
+			return
+		case <-ticker.C:
+		}
+		idle := time.Duration(time.Now().UnixNano() - mb.lastRecv.Load())
+		if idle >= deadAfter {
+			c.heartbeatDeaths.Add(1)
+			mb.conn.Close()
+			return
+		}
+		if idle >= interval {
+			c.pingsSent.Add(1)
+			// At most HeartbeatMisses-1 of these can pile up on a dead
+			// peer before the close above releases them all.
+			go func() {
+				_ = mb.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpPing})
+			}()
+		}
+	}
 }
 
 // eventRouter drains eventQ, routing each frame's events in arrival (seq)
@@ -752,6 +853,7 @@ func (mb *mbConn) readLoop() error {
 		if err != nil {
 			return err
 		}
+		mb.lastRecv.Store(time.Now().UnixNano())
 		switch m.Type {
 		case sbi.MsgEvent:
 			// Count the events in before queueing them (quiescence reads

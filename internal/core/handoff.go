@@ -51,6 +51,9 @@ func (cl *Cluster) Rebalance(mbName string, target int) error {
 	if target < 0 || target >= len(cl.replicas) {
 		return fmt.Errorf("core: rebalance %q: no replica %d", mbName, target)
 	}
+	if cl.replicas[target].failed.Load() {
+		return fmt.Errorf("core: rebalance %q: replica %d has failed", mbName, target)
+	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	from, mb, err := cl.find(mbName)
@@ -127,10 +130,20 @@ func (cl *Cluster) Drain(replica int) error {
 	if len(cl.replicas) == 1 {
 		return fmt.Errorf("core: drain: cannot drain the only replica")
 	}
+	live := 0
+	for j, c := range cl.replicas {
+		if j != replica && !c.failed.Load() {
+			live++
+		}
+	}
+	if live == 0 {
+		return fmt.Errorf("core: drain: no live replica to drain to")
+	}
 	names := cl.replicas[replica].Middleboxes()
 	next := 0
 	for _, name := range names {
-		if next == replica {
+		// Skip the drained replica and any replica declared failed.
+		for next == replica || cl.replicas[next].failed.Load() {
 			next = (next + 1) % len(cl.replicas)
 		}
 		if err := cl.Rebalance(name, next); err != nil {

@@ -184,6 +184,11 @@ func (c *Controller) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) erro
 // accounting) runs here while routing state follows the source connection's
 // current owner (see txn.registerChunk).
 func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
+	if c.failed.Load() {
+		// This replica has been declared dead; the caller (Cluster) retries
+		// on the connection's current owner.
+		return ErrReplicaFailed
+	}
 	c.movesStarted.Add(1)
 	t := newTxn(c, src, dst)
 
@@ -196,6 +201,15 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 	}
 
 	doPut := func(j putJob) {
+		if t.aborted.Load() {
+			// The coordinating replica was declared failed mid-move: stop
+			// installing state at the destination. The ACKs are skipped
+			// too — rollback wipes the routing entries wholesale, and an
+			// ACK-driven drain here would forward events for state the
+			// rollback is about to delete.
+			fail(ErrReplicaFailed)
+			return
+		}
 		put := &sbi.Message{
 			Type: sbi.MsgRequest, Op: j.op,
 			Chunk: j.frame.Chunk, Chunks: j.frame.Chunks,
@@ -260,6 +274,9 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 			Compressed: c.opts.Compress, Batch: c.opts.BatchSize,
 		}
 		_, err := src.stream(t, get, c.opts.CallTimeout, func(chunk *sbi.Message) error {
+			if t.aborted.Load() {
+				return ErrReplicaFailed
+			}
 			var keys []packet.FlowKey
 			var bytes uint64
 			chunk.EachChunk(func(ch *state.Chunk) {
@@ -294,6 +311,14 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 		queue.close()
 	}
 	putWG.Wait()
+
+	// A failure declared after the last put was issued but before this
+	// point must still abort: once finishAfterQuiet is scheduled the move
+	// is committed to completing (the quiet-period delete at the source is
+	// then the only loss-free ending).
+	if t.aborted.Load() {
+		fail(ErrReplicaFailed)
+	}
 
 	select {
 	case err := <-errCh:
@@ -349,6 +374,9 @@ func (c *Controller) sharedTransfer(srcMB, dstMB string, getOps, putOps []sbi.Op
 // sharedTransferConns is sharedTransfer on resolved connections (the
 // cluster's cross-partition path, mirroring moveConns).
 func (c *Controller) sharedTransferConns(src, dst *mbConn, getOps, putOps []sbi.Op) error {
+	if c.failed.Load() {
+		return ErrReplicaFailed
+	}
 	t := newTxn(c, src, dst)
 	for i, getOp := range getOps {
 		t.registerShared()

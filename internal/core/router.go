@@ -240,6 +240,25 @@ func (r *txnRouter) purgeOrphans(mb *mbConn) {
 	}
 }
 
+// purgeOrphanMatch discards orphaned events held for mb whose key falls
+// under m (either direction, matching the clear-marks semantics on the
+// middlebox side). Move rollback uses it: orphans raised under an aborted
+// transfer's match describe packets the restarted transfer's snapshot will
+// already contain, so letting the restart adopt them would replay — and
+// double-count — those packets at the destination.
+func (r *txnRouter) purgeOrphanMatch(mb *mbConn, m packet.FieldMatch) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for rk := range sh.orphans {
+			if rk.mb == mb && m.MatchEither(rk.key) {
+				delete(sh.orphans, rk)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // purgeMB drops all routing state for a disconnected middlebox so entries
 // cannot leak past the connection's lifetime.
 func (r *txnRouter) purgeMB(mb *mbConn) {
@@ -349,6 +368,12 @@ func (r *txnRouter) exportHandoff(mb *mbConn) (*sbi.Handoff, []*txn) {
 		}
 		sh.mu.Unlock()
 	}
+	// Publish the transfer table's registry IDs on the wire payload, so a
+	// receiver (or an operator reading a handoff dump) can name the exact
+	// transactions being re-bound: Txns[i] is the ID of table slot i+1.
+	for _, t := range txns {
+		h.Txns = append(h.Txns, t.id)
+	}
 	return h, txns
 }
 
@@ -358,6 +383,9 @@ func (r *txnRouter) exportHandoff(mb *mbConn) (*sbi.Handoff, []*txn) {
 // swap. Shard counts may differ between replicas — each router hashes the
 // keys into its own shards.
 func (r *txnRouter) importHandoff(mb *mbConn, h *sbi.Handoff, txns []*txn) error {
+	if len(h.Txns) != 0 && len(h.Txns) != len(txns) {
+		return fmt.Errorf("core: handoff for %q carries %d txn IDs for a %d-entry transfer table", h.MB, len(h.Txns), len(txns))
+	}
 	for i := range h.Keys {
 		hk := &h.Keys[i]
 		if hk.Txn > uint64(len(txns)) {

@@ -20,6 +20,17 @@ type txn struct {
 	src  *mbConn
 	dst  *mbConn
 
+	// id is the cluster-wide transaction ID the registry assigned (wire-
+	// visible: exported handoffs carry it in sbi.Handoff.Txns). Immutable
+	// after newTxn.
+	id uint64
+
+	// aborted is set by the registry when this transaction's coordinating
+	// replica is declared failed. Only the per-flow move data phase acts on
+	// it (see txnRegistry.abortController for why completions and shared
+	// transfers deliberately ignore it).
+	aborted atomic.Bool
+
 	// lastEvent is the unix-nano time the source last raised an event for
 	// this transaction; the completer reads it to detect quiescence.
 	lastEvent atomic.Int64
@@ -50,6 +61,7 @@ type staleKey struct {
 func newTxn(c *Controller, src, dst *mbConn) *txn {
 	t := &txn{ctrl: c, src: src, dst: dst}
 	t.touch()
+	c.registry.add(t)
 	src.liveTxns.Add(1)
 	return t
 }
@@ -251,6 +263,7 @@ func (t *txn) detach() {
 	}
 	t.detached = true
 	t.mu.Unlock()
+	t.ctrl.registry.remove(t)
 	t.src.routingLock()
 	t.src.controller().router.detach(t)
 	t.src.routingUnlock()

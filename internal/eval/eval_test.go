@@ -169,6 +169,26 @@ func TestRebalanceUnderLoadRuns(t *testing.T) {
 	}
 }
 
+func TestRecoveryUnderFailureRuns(t *testing.T) {
+	tbl := mustRun(t, func() (*Table, error) {
+		return RecoveryUnderFailure(ChaosConfig{Pairs: 2, Chunks: 300})
+	})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Clean rows report no recovery window; the chaos row must (the
+	// scenario itself asserts loss-freedom and that every move returned).
+	if got := cell(t, tbl, 0, 5); got != "-" {
+		t.Fatalf("baseline reported a recovery time: %s", got)
+	}
+	if got := cell(t, tbl, 2, 5); got == "-" || got == "0s" {
+		t.Fatalf("chaos row reported no recovery time: %s", got)
+	}
+	if got := cell(t, tbl, 2, 0); got != "on" {
+		t.Fatalf("chaos row faults cell: %s", got)
+	}
+}
+
 func TestSnapshotComparisonShape(t *testing.T) {
 	tbl := mustRun(t, func() (*Table, error) { return SnapshotComparison(60, 40) })
 	full := atoi(t, cell(t, tbl, 1, 1))

@@ -1,0 +1,238 @@
+// Package faults is a deterministic fault-injection harness for the SBI
+// transport layer. It wraps any sbi.Transport and perturbs the byte streams
+// flowing through it — added latency, partial writes that split frames at
+// arbitrary byte boundaries, probabilistic connection drops — and offers
+// scenario controls for whole-link failures: KillAll severs every live
+// connection (an MB flap storm or a crashed controller, as seen from the
+// wire), and SetPartition blackholes one direction (an asymmetric network
+// partition: writes pretend to succeed, bytes never arrive).
+//
+// Randomness is drawn from a single seeded source, so a scenario's fault
+// schedule is reproducible run to run for a fixed interleaving of writes;
+// under heavy goroutine concurrency the schedule is reproducible
+// statistically rather than byte-for-byte (the rng is shared, and draw
+// order follows the scheduler). Chaos tests pin the seed so failures
+// reproduce under `-race` with the same flag values.
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options selects which faults the transport injects. The zero value
+// injects nothing (a transparent wrapper), so scenarios enable exactly the
+// faults they study — including the faults-off ablation the CI chaos job
+// runs at parity.
+type Options struct {
+	// Seed seeds the fault schedule's random source.
+	Seed int64
+	// DropProb is the per-write probability of severing the connection
+	// instead of writing (the write fails, both ends see the close).
+	DropProb float64
+	// Delay and DelayProb inject Delay of latency before a write with the
+	// given probability (1 with any Delay set and DelayProb 0 means every
+	// write).
+	Delay     time.Duration
+	DelayProb float64
+	// PartialWrites splits each multi-byte write into two Write calls at a
+	// random boundary, exercising the framing layers' partial-read paths.
+	PartialWrites bool
+}
+
+// Transport wraps an inner sbi.Transport, injecting the configured faults
+// into every connection established through it (both the dialed side and
+// the accepted side).
+type Transport struct {
+	inner interface {
+		Listen(addr string) (net.Listener, error)
+		Dial(addr string) (net.Conn, error)
+	}
+	opts Options
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns map[*conn]struct{}
+
+	// partDial blackholes bytes written by dialed (middlebox-side) conns;
+	// partAccept blackholes bytes written by accepted (controller-side)
+	// conns. Guarded by mu.
+	partDial, partAccept bool
+}
+
+// New wraps inner with fault injection per opts.
+func New(inner interface {
+	Listen(addr string) (net.Listener, error)
+	Dial(addr string) (net.Conn, error)
+}, opts Options) *Transport {
+	if opts.Delay > 0 && opts.DelayProb == 0 {
+		opts.DelayProb = 1
+	}
+	return &Transport{
+		inner: inner,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		conns: map[*conn]struct{}{},
+	}
+}
+
+// Listen wraps the inner listener so accepted connections inject faults.
+func (t *Transport) Listen(addr string) (net.Listener, error) {
+	l, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{Listener: l, tr: t}, nil
+}
+
+// Dial wraps the dialed connection with fault injection.
+func (t *Transport) Dial(addr string) (net.Conn, error) {
+	raw, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.track(raw, true), nil
+}
+
+func (t *Transport) track(raw net.Conn, dialed bool) *conn {
+	c := &conn{Conn: raw, tr: t, dialed: dialed}
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+	return c
+}
+
+func (t *Transport) untrack(c *conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+// Conns reports how many connections are currently live through the
+// transport.
+func (t *Transport) Conns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// KillAll severs every live connection and returns how many it closed: a
+// flap storm (every middlebox's link drops at once) or, equivalently, what
+// a crashed peer process looks like from the wire.
+func (t *Transport) KillAll() int {
+	t.mu.Lock()
+	victims := make([]*conn, 0, len(t.conns))
+	for c := range t.conns {
+		victims = append(victims, c)
+	}
+	t.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
+// SetPartition blackholes traffic per direction: dialToAccept discards
+// bytes written by dialed (middlebox-side) connections, acceptToDial those
+// written by accepted (controller-side) ones. Discarded writes pretend to
+// succeed — the writer keeps going, the bytes never arrive — which is the
+// asymmetric-partition failure mode: each side believes it is talking while
+// one direction is dark. SetPartition(false, false) heals the link for
+// connections established afterwards (an existing conn's stream is
+// byte-oriented: resuming delivery mid-frame would desynchronize the codec,
+// so partitioned conns stay dark until closed).
+func (t *Transport) SetPartition(dialToAccept, acceptToDial bool) {
+	t.mu.Lock()
+	t.partDial = dialToAccept
+	t.partAccept = acceptToDial
+	t.mu.Unlock()
+}
+
+// writePlan decides one write's fate under the shared rng.
+func (t *Transport) writePlan(c *conn, n int) (drop bool, delay time.Duration, split int, blackhole bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c.dialed && t.partDial || !c.dialed && t.partAccept {
+		// A blackholed conn stays blackholed (see SetPartition): latch it
+		// so a heal cannot resume mid-frame.
+		c.dark = true
+	}
+	if c.dark {
+		return false, 0, 0, true
+	}
+	if t.opts.DropProb > 0 && t.rng.Float64() < t.opts.DropProb {
+		return true, 0, 0, false
+	}
+	if t.opts.DelayProb > 0 && t.rng.Float64() < t.opts.DelayProb {
+		delay = t.opts.Delay
+	}
+	if t.opts.PartialWrites && n > 1 {
+		split = 1 + t.rng.Intn(n-1)
+	}
+	return false, delay, split, false
+}
+
+// conn injects faults into one connection's write path. Reads pass through
+// untouched: every injected fault is something the peer's write path (or
+// the network between) did, which is exactly how the read side experiences
+// real faults.
+type conn struct {
+	net.Conn
+	tr     *Transport
+	dialed bool
+	// dark latches a partition: once any write was discarded, all later
+	// ones are too (mid-frame resumption would desynchronize the codec).
+	// Guarded by tr.mu.
+	dark bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	drop, delay, split, blackhole := c.tr.writePlan(c, len(b))
+	if blackhole {
+		return len(b), nil
+	}
+	if drop {
+		c.Close()
+		return 0, io.ErrClosedPipe
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if split > 0 {
+		n, err := c.Conn.Write(b[:split])
+		if err != nil {
+			return n, err
+		}
+		n2, err := c.Conn.Write(b[split:])
+		return n + n2, err
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.tr.untrack(c)
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}
+
+// listener wraps accepted connections with fault injection.
+type listener struct {
+	net.Listener
+	tr *Transport
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	raw, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.tr.track(raw, false), nil
+}

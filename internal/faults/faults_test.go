@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"openmb/internal/core"
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/mbtest"
+	"openmb/internal/packet"
+	"openmb/internal/sbi"
+)
+
+// TestWritePlanDeterministic proves the fault schedule is a pure function
+// of the seed: two transports with the same options produce identical
+// drop/delay/split decisions for the same write sequence.
+func TestWritePlanDeterministic(t *testing.T) {
+	opts := Options{Seed: 99, DropProb: 0.1, Delay: time.Millisecond, DelayProb: 0.4, PartialWrites: true}
+	a := New(sbi.NewMemTransport(), opts)
+	b := New(sbi.NewMemTransport(), opts)
+	ca, cb := &conn{tr: a}, &conn{tr: b}
+	for i := 0; i < 500; i++ {
+		n := 2 + i%700
+		dropA, delayA, splitA, darkA := a.writePlan(ca, n)
+		dropB, delayB, splitB, darkB := b.writePlan(cb, n)
+		if dropA != dropB || delayA != delayB || splitA != splitB || darkA != darkB {
+			t.Fatalf("write %d diverged: (%v %v %v %v) vs (%v %v %v %v)",
+				i, dropA, delayA, splitA, darkA, dropB, delayB, splitB, darkB)
+		}
+	}
+}
+
+// TestFramingSurvivesPartialWritesAndDelays runs a real controller/runtime
+// pair — binary codec, frames split at arbitrary byte boundaries, jittered
+// latency — through a full move. Every layer above the transport must be
+// oblivious: registration, the chunk stream, put ACKs, and the final counts
+// all exact.
+func TestFramingSurvivesPartialWritesAndDelays(t *testing.T) {
+	const flows = 25
+	ft := New(sbi.NewMemTransport(), Options{
+		Seed:          7,
+		PartialWrites: true,
+		Delay:         200 * time.Microsecond,
+		DelayProb:     0.2,
+	})
+	c := core.NewController(core.Options{QuietPeriod: 60 * time.Millisecond})
+	if err := c.Serve(ft, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	src := mbtest.NewCounterLogic(16)
+	dst := mbtest.NewCounterLogic(16)
+	for _, mb := range []struct {
+		name  string
+		logic *mbtest.CounterLogic
+	}{{"src", src}, {"dst", dst}} {
+		rt := mbox.New(mb.name, mb.logic, mbox.Options{Codec: "binary"})
+		defer rt.Close()
+		if err := rt.Connect(ft, "ctrl"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WaitForMB(mb.name, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src.Preload(flows)
+	if _, err := c.Stats("src", packet.MatchAll); err != nil {
+		t.Fatalf("stats through faulty transport: %v", err)
+	}
+	if err := c.MoveInternal("src", "dst", packet.MatchAll); err != nil {
+		t.Fatalf("move through faulty transport: %v", err)
+	}
+	if !c.WaitTxns(30 * time.Second) {
+		t.Fatal("move did not complete")
+	}
+	if got := dst.Flows(); got != flows {
+		t.Fatalf("destination holds %d flows, want %d", got, flows)
+	}
+	if got := src.Flows(); got != 0 {
+		t.Fatalf("source still holds %d flows", got)
+	}
+}
+
+// TestKillAllSevers proves KillAll really cuts every tracked connection:
+// the controller sees the disconnect and deregisters, and the transport's
+// live-connection count drops to zero.
+func TestKillAllSevers(t *testing.T) {
+	ft := New(sbi.NewMemTransport(), Options{})
+	c := core.NewController(core.Options{})
+	if err := c.Serve(ft, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rt := mbox.New("mb", mbtest.NewCounterLogic(4), mbox.Options{})
+	defer rt.Close()
+	if err := rt.Connect(ft, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForMB("mb", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := ft.Conns(); n == 0 {
+		t.Fatal("no connections tracked")
+	}
+	if n := ft.KillAll(); n == 0 {
+		t.Fatal("KillAll found nothing to kill")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(c.Middleboxes()) == 0 && ft.Conns() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after KillAll: %v still registered, %d conns tracked",
+				c.Middleboxes(), ft.Conns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

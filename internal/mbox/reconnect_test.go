@@ -1,0 +1,134 @@
+package mbox_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/mbtest"
+	"openmb/internal/sbi"
+)
+
+// reconnectAcceptor is a fake controller that keeps accepting sessions: it
+// reads each hello, upgrades to the announced codec, and hands the upgraded
+// connection plus its hello to the test.
+type reconnectAcceptor struct {
+	conns  chan *sbi.Conn
+	hellos chan *sbi.Message
+	dials  atomic.Int64
+}
+
+func startReconnectAcceptor(t *testing.T, tr sbi.Transport, addr string) *reconnectAcceptor {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	a := &reconnectAcceptor{conns: make(chan *sbi.Conn, 8), hellos: make(chan *sbi.Message, 8)}
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			a.dials.Add(1)
+			go func() {
+				c := sbi.NewConn(raw)
+				m, err := c.Receive()
+				if err != nil || m.Type != sbi.MsgHello {
+					c.Close()
+					return
+				}
+				if err := c.Upgrade(m.Codec); err != nil {
+					c.Close()
+					return
+				}
+				a.hellos <- m
+				a.conns <- c
+			}()
+		}
+	}()
+	return a
+}
+
+func (a *reconnectAcceptor) session(t *testing.T) (*sbi.Conn, *sbi.Message) {
+	t.Helper()
+	select {
+	case c := <-a.conns:
+		return c, <-a.hellos
+	case <-time.After(5 * time.Second):
+		t.Fatal("no session established")
+		return nil, nil
+	}
+}
+
+// TestReconnectResumesSession drops the southbound connection under a
+// reconnecting runtime and verifies session resume: the runtime redials on
+// its own, re-announces the exact same hello (name, kind, codec, event
+// batch — the registration IS the resume), and serves requests on the new
+// session.
+func TestReconnectResumesSession(t *testing.T) {
+	tr := sbi.NewMemTransport()
+	a := startReconnectAcceptor(t, tr, "ctrl")
+	rt := mbox.New("mb1", mbtest.NewCounterLogic(4), mbox.Options{
+		Reconnect:    true,
+		ReconnectMin: 2 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	t.Cleanup(rt.Close)
+	if err := rt.Connect(tr, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	conn1, hello1 := a.session(t)
+
+	// Sever the session; the runtime must come back by itself.
+	conn1.Close()
+	conn2, hello2 := a.session(t)
+	defer conn2.Close()
+	if hello2.Name != hello1.Name || hello2.Kind != hello1.Kind ||
+		hello2.Codec != hello1.Codec || hello2.Batch != hello1.Batch {
+		t.Fatalf("resumed hello diverged:\n first: %+v\n resume: %+v", hello1, hello2)
+	}
+
+	// The new session serves requests: a liveness probe pongs.
+	if err := conn2.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpPing, ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	pong, err := conn2.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Type != sbi.MsgDone || pong.ID != 7 {
+		t.Fatalf("ping reply: %+v", pong)
+	}
+	if got := rt.Metrics().Reconnects; got != 1 {
+		t.Fatalf("reconnects = %d, want 1", got)
+	}
+}
+
+// TestReconnectStopsOnClose closes the runtime while it is mid-backoff
+// (disconnected, redial loop armed) and verifies the dialing stops: Close
+// must win the race against the reconnect loop, with no session churn
+// afterwards.
+func TestReconnectStopsOnClose(t *testing.T) {
+	tr := sbi.NewMemTransport()
+	a := startReconnectAcceptor(t, tr, "ctrl")
+	rt := mbox.New("mb1", mbtest.NewCounterLogic(4), mbox.Options{
+		Reconnect:    true,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 10 * time.Millisecond,
+	})
+	if err := rt.Connect(tr, "ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	conn1, _ := a.session(t)
+	conn1.Close()
+	rt.Close()
+	settled := a.dials.Load()
+	time.Sleep(100 * time.Millisecond)
+	if got := a.dials.Load(); got != settled {
+		t.Fatalf("runtime kept dialing after Close: %d -> %d", settled, got)
+	}
+}

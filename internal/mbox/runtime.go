@@ -41,6 +41,19 @@ type Options struct {
 	// when the coalesced wire path is off (OPENMB_COALESCE=off), which
 	// restores the seed's synchronous frame-and-flush per event.
 	EventWindow time.Duration
+	// Reconnect enables southbound resilience: when the controller
+	// connection drops, the runtime redials with exponential backoff plus
+	// deterministic jitter (seeded from the instance name, so a flap storm
+	// of many runtimes does not thundering-herd the controller while each
+	// runtime's own schedule stays reproducible) and resumes the session
+	// by re-sending its hello. Runtime-held session state — transaction
+	// marks, event filters, logic state — survives the reconnect; the
+	// controller side rebuilds its routing view from the fresh
+	// registration.
+	Reconnect bool
+	// ReconnectMin and ReconnectMax bound the backoff delay (defaults
+	// 50 ms and 2 s).
+	ReconnectMin, ReconnectMax time.Duration
 }
 
 // Runtime hosts one middlebox instance: its logic, its southbound
@@ -76,8 +89,18 @@ type Runtime struct {
 	forwardMu sync.RWMutex
 	forward   func(p *packet.Packet)
 
+	// conn is the live southbound connection; tr and addr remember how it
+	// was dialed so the reconnect loop can redial. All three ride connMu.
 	conn   *sbi.Conn
+	tr     sbi.Transport
+	addr   string
 	connMu sync.RWMutex
+
+	// reconnect enables the southbound redial loop; the bounds shape its
+	// exponential backoff.
+	reconnect                  bool
+	reconnectMin, reconnectMax time.Duration
+	reconnects                 atomic.Uint64
 
 	// marks is the moved/cloned registry: per-flow keys and shared
 	// classes currently part of a controller transaction.
@@ -139,19 +162,28 @@ func New(name string, logic Logic, opts Options) *Runtime {
 	if opts.EventWindow > maxEventWindow {
 		opts.EventWindow = maxEventWindow
 	}
+	if opts.ReconnectMin <= 0 {
+		opts.ReconnectMin = 50 * time.Millisecond
+	}
+	if opts.ReconnectMax <= 0 {
+		opts.ReconnectMax = 2 * time.Second
+	}
 	rt := &Runtime{
-		name:        name,
-		logic:       logic,
-		sealer:      opts.Sealer,
-		codec:       opts.Codec,
-		ring:        newIngressRing(opts.QueueSize),
-		stop:        make(chan struct{}),
-		coalesce:    sbi.CoalesceDefault(),
-		eventWindow: opts.EventWindow,
-		forward:     opts.Forward,
-		movedKeys:   map[touchRef]bool{},
-		sharedMoved: map[state.Class]bool{},
-		logs:        map[string][]string{},
+		name:         name,
+		logic:        logic,
+		sealer:       opts.Sealer,
+		codec:        opts.Codec,
+		ring:         newIngressRing(opts.QueueSize),
+		stop:         make(chan struct{}),
+		coalesce:     sbi.CoalesceDefault(),
+		eventWindow:  opts.EventWindow,
+		forward:      opts.Forward,
+		reconnect:    opts.Reconnect,
+		reconnectMin: opts.ReconnectMin,
+		reconnectMax: opts.ReconnectMax,
+		movedKeys:    map[touchRef]bool{},
+		sharedMoved:  map[state.Class]bool{},
+		logs:         map[string][]string{},
 	}
 	rt.outbox.init()
 	rt.workersWG.Add(1)
@@ -454,18 +486,20 @@ func (rt *Runtime) Drain(timeout time.Duration) bool {
 
 // Metrics is a snapshot of runtime counters.
 type Metrics struct {
-	Processed       uint64
-	Replayed        uint64
+	Processed uint64
+	Replayed  uint64
 	// DroppedPackets and DroppedReplays count ingress-ring rejections
 	// (full or closed): live deliveries shed like a loaded middlebox, and
 	// replayed reprocess packets that could not be queued.
-	DroppedPackets uint64
-	DroppedReplays uint64
+	DroppedPackets  uint64
+	DroppedReplays  uint64
 	EventsRaised    uint64
 	IntroRaised     uint64
 	Emitted         uint64
 	SuppressedEmits uint64
 	SuppressedLogs  uint64
+	// Reconnects counts successful southbound session resumes.
+	Reconnects uint64
 	// LatencyNormal and LatencyDuringOp are mean per-packet processing
 	// latencies outside and inside southbound-operation windows.
 	LatencyNormal   time.Duration
@@ -498,6 +532,7 @@ func (rt *Runtime) Metrics() Metrics {
 		Emitted:         rt.emitted.Load(),
 		SuppressedEmits: rt.suppressedEmits.Load(),
 		SuppressedLogs:  rt.suppressedLogs.Load(),
+		Reconnects:      rt.reconnects.Load(),
 	}
 	if n := rt.latNormalN.Load(); n > 0 {
 		m.LatencyNormal = time.Duration(rt.latNormalNS.Load() / n)

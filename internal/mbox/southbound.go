@@ -5,7 +5,9 @@ import (
 	"compress/flate"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"time"
 
 	"openmb/internal/packet"
@@ -18,13 +20,38 @@ import (
 // the paper's MBs connecting to the controller, which then launches one
 // thread for state operations and one for events per MB.
 func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
+	rt.connMu.Lock()
+	rt.tr, rt.addr = tr, addr
+	rt.connMu.Unlock()
+	conn, err := rt.dialSouthbound()
+	if err != nil {
+		return err
+	}
+	rt.connMu.Lock()
+	rt.conn = conn
+	rt.connMu.Unlock()
+	rt.workersWG.Add(1)
+	go rt.serveSouthbound(conn)
+	return nil
+}
+
+// dialSouthbound dials the stored controller address and performs the
+// session-establishing exchange: hello (always JSON) announcing name, kind,
+// codec, and event-batch willingness, then the codec upgrade. Used by
+// Connect and by the reconnect loop — session resume IS this exchange
+// re-run: marks, filters, and logic state live runtime-side and carry over,
+// while the controller rebuilds its routing view from the registration.
+func (rt *Runtime) dialSouthbound() (*sbi.Conn, error) {
+	rt.connMu.RLock()
+	tr, addr := rt.tr, rt.addr
+	rt.connMu.RUnlock()
 	codec, err := sbi.ParseCodec(string(rt.codec))
 	if err != nil {
-		return fmt.Errorf("mbox: connect %q: %w", addr, err)
+		return nil, fmt.Errorf("mbox: connect %q: %w", addr, err)
 	}
 	raw, err := tr.Dial(addr)
 	if err != nil {
-		return fmt.Errorf("mbox: connect %q: %w", addr, err)
+		return nil, fmt.Errorf("mbox: connect %q: %w", addr, err)
 	}
 	conn := sbi.NewConn(raw)
 	hello := &sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}
@@ -39,20 +66,59 @@ func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
 	}
 	if err := conn.Send(hello); err != nil {
 		conn.Close()
-		return err
+		return nil, err
 	}
 	// The hello is always JSON; every frame after it uses the announced
 	// codec, on both sides.
 	if err := conn.Upgrade(codec); err != nil {
 		conn.Close()
-		return err
+		return nil, err
 	}
-	rt.connMu.Lock()
-	rt.conn = conn
-	rt.connMu.Unlock()
-	rt.workersWG.Add(1)
-	go rt.serveSouthbound(conn)
-	return nil
+	return conn, nil
+}
+
+// reconnectLoop redials the controller after a southbound disconnect:
+// exponential backoff between reconnectMin and reconnectMax, with up to
+// half a step of deterministic jitter derived from the instance name. It
+// exits on rt.stop or once a fresh session is established and its serve
+// loop started.
+func (rt *Runtime) reconnectLoop() {
+	defer rt.workersWG.Done()
+	h := fnv.New64a()
+	h.Write([]byte(rt.name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	delay := rt.reconnectMin
+	for {
+		jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+		select {
+		case <-rt.stop:
+			return
+		case <-time.After(delay + jitter):
+		}
+		conn, err := rt.dialSouthbound()
+		if err == nil {
+			rt.connMu.Lock()
+			select {
+			case <-rt.stop:
+				// Close won the race: it already closed (or will never
+				// see) this conn, so shut it down here and bail.
+				rt.connMu.Unlock()
+				conn.Close()
+				return
+			default:
+			}
+			rt.conn = conn
+			rt.connMu.Unlock()
+			rt.reconnects.Add(1)
+			rt.workersWG.Add(1)
+			go rt.serveSouthbound(conn)
+			return
+		}
+		delay *= 2
+		if delay > rt.reconnectMax {
+			delay = rt.reconnectMax
+		}
+	}
 }
 
 // maxDeferredReplies bounds reply coalescing: after this many served
@@ -75,6 +141,18 @@ func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
 			// publish them so a half-served pipeline is not lost with the
 			// buffer (a no-op on a closed transport).
 			_ = conn.Flush()
+			if rt.reconnect {
+				// Spawn the redial loop unless the runtime is shutting
+				// down. The Add is safe against Close's Wait: this
+				// goroutine still holds its own workersWG count until
+				// the deferred Done runs, after the Add.
+				select {
+				case <-rt.stop:
+				default:
+					rt.workersWG.Add(1)
+					go rt.reconnectLoop()
+				}
+			}
 			return
 		}
 		if m.Type != sbi.MsgRequest {
@@ -170,6 +248,12 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 		rt.filtersMu.Lock()
 		rt.filters = append(rt.filters, f)
 		rt.filtersMu.Unlock()
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpPing:
+		// Liveness probe (docs/SBI.md): the done reply is the pong. It
+		// rides the reply-coalescing path like any other response — the
+		// serve loop flushes before blocking, so a pong never lingers.
 		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpEndTransaction:

@@ -367,3 +367,65 @@ func TestLinkPreservesFIFOOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestHostOnPacketCopyRetains proves the copy-out hook contract: every
+// delivered packet reaches the callback as a detached heap copy that stays
+// valid after the original pooled packet has been released and recycled,
+// and the copies themselves owe the pool nothing.
+func TestHostOnPacketCopyRetains(t *testing.T) {
+	n, sw, a, b := topo(t)
+	sw.Install(Rule{Priority: 10, Match: packet.MatchAll, OutPorts: []string{"b"}})
+	pool := packet.NewPool(packet.PoolOptions{Accounting: true})
+
+	var mu sync.Mutex
+	var kept []*packet.Packet
+	var liveSeen int
+	b.OnPacket = func(p *packet.Packet) {
+		mu.Lock()
+		liveSeen++ // both hooks coexist: live borrow first, then the copy
+		mu.Unlock()
+	}
+	b.OnPacketCopy = func(p *packet.Packet) {
+		mu.Lock()
+		kept = append(kept, p) // retaining is the whole point
+		mu.Unlock()
+	}
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		p := pool.Get()
+		tpl := mkPacket(byte(i), 80)
+		p.SrcIP, p.DstIP, p.Proto = tpl.SrcIP, tpl.DstIP, tpl.Proto
+		p.SrcPort, p.DstPort = uint16(1000+i), 80
+		p.Payload = append(p.Payload[:0], "copy-hook"...)
+		if err := a.Send("s1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.Quiesce(5 * time.Second) {
+		t.Fatal("network did not quiesce")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kept) != total || liveSeen != total {
+		t.Fatalf("hooks saw %d copies and %d live packets, want %d each", len(kept), liveSeen, total)
+	}
+	ports := map[uint16]bool{}
+	for _, p := range kept {
+		if p.Pooled() {
+			t.Fatal("copy hook delivered a pooled packet")
+		}
+		if string(p.Payload) != "copy-hook" {
+			t.Fatalf("retained copy corrupted after pool recycling: %q", p.Payload)
+		}
+		ports[p.SrcPort] = true
+	}
+	if len(ports) != total {
+		t.Fatalf("retained %d distinct packets, want %d", len(ports), total)
+	}
+	// Every pooled original was released by the host despite both hooks.
+	if err := pool.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -177,8 +177,19 @@ type Host struct {
 	net  *Network
 
 	// OnPacket, if non-nil, runs for every delivered packet before it is
-	// recorded. Set it before traffic starts.
+	// recorded. Set it before traffic starts. The packet is the live
+	// borrow: it may be pooled and recycled the moment HandlePacket
+	// disposes of it, so the callback must not retain it or any of its
+	// slices past its return. Callbacks that keep packets (queues,
+	// assertions resolved later) should use OnPacketCopy.
 	OnPacket func(p *packet.Packet)
+
+	// OnPacketCopy, if non-nil, runs for every delivered packet with a
+	// detached heap copy — always safe to retain, at the cost of one copy
+	// per delivery. Set it before traffic starts. When both hooks are set,
+	// OnPacket runs first (on the live borrow), then OnPacketCopy (on the
+	// copy).
+	OnPacketCopy func(p *packet.Packet)
 
 	mu       sync.Mutex
 	received []*packet.Packet
@@ -209,6 +220,9 @@ func (h *Host) Name() string { return h.name }
 func (h *Host) HandlePacket(p *packet.Packet) {
 	if h.OnPacket != nil {
 		h.OnPacket(p)
+	}
+	if h.OnPacketCopy != nil {
+		h.OnPacketCopy(p.CloneDetached())
 	}
 	h.mu.Lock()
 	h.count++

@@ -398,6 +398,10 @@ func (c *binaryCodec) encode(m *Message) error {
 				body = appendEvent(body, ev)
 			}
 		}
+		body = appendUvarint(body, uint64(len(m.Handoff.Txns)))
+		for _, id := range m.Handoff.Txns {
+			body = appendUvarint(body, id)
+		}
 	}
 	if flags&fEvents != 0 {
 		body = appendUvarint(body, uint64(len(m.Events)))
@@ -701,6 +705,14 @@ func (c *binaryCodec) decode() (*Message, error) {
 				hk.Events = append(hk.Events, ev)
 			}
 			h.Keys = append(h.Keys, hk)
+		}
+		nt := r.uvarint("handoff txns")
+		// Each txn ID costs at least one body byte.
+		if r.err == nil && nt > uint64(len(body)) {
+			return nil, fmt.Errorf("sbi: binary decode: handoff txn count %d exceeds frame", nt)
+		}
+		for i := uint64(0); i < nt && r.err == nil; i++ {
+			h.Txns = append(h.Txns, r.uvarint("handoff txns"))
 		}
 		if r.err == nil {
 			m.Handoff = h

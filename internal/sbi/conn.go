@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // coalesceDefault selects the write-path mode NewConn captures: coalesced
@@ -245,6 +246,16 @@ func (c *Conn) Flush() error {
 // flushes.
 func (c *Conn) ReadBuffered() int {
 	return c.br.Buffered()
+}
+
+// SetReadDeadline bounds how long the next Receive may block on the
+// transport, delegating to the underlying connection (the zero time clears
+// it). The accept paths use it so a peer that connects and then stalls —
+// a truncated hello, a half-open socket — times out instead of pinning the
+// accept goroutine forever. It deliberately does not take the receive
+// mutex: its whole point is to fire while a Receive is parked inside it.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	return c.raw.SetReadDeadline(t)
 }
 
 // Receive decodes the next message. Only one goroutine should receive.

@@ -67,6 +67,20 @@ const (
 	// replica-to-replica, never controller-to-MB; see Message.Handoff and
 	// docs/SBI.md.
 	OpTransferOwnership Op = "transferOwnership"
+
+	// OpPing is the controller's liveness probe: a MsgRequest sent when a
+	// connection has been quiet for a heartbeat interval. The middlebox
+	// answers with a plain MsgDone echoing the request ID (the pong —
+	// OpPong names the concept in docs/SBI.md, but no request ever carries
+	// it: the done frame IS the pong). Peers that predate heartbeats reply
+	// MsgError for the unknown op, which also proves liveness; either way
+	// the reply stamps the conn's last-received clock, so the probe never
+	// needs its own completion tracking.
+	OpPing Op = "ping"
+
+	// OpPong is reserved for symmetry with OpPing; see OpPing. Defined so
+	// the wire spec can name it, never sent as a request op today.
+	OpPong Op = "pong"
 )
 
 // MsgType discriminates wire messages.
@@ -142,6 +156,15 @@ type Handoff struct {
 	// Keys holds one record per in-transaction flow key plus one per
 	// orphan key (events that arrived before their registering chunk).
 	Keys []HandoffKey `json:"keys,omitempty"`
+	// Txns carries the cluster-wide transaction IDs of the sender's
+	// transfer table, parallel to the 1-based Txn indices in Keys: entry
+	// i is the registry ID of transfer-table slot i+1. Receivers use the
+	// IDs to re-bind the imported keys to the same live transactions (and
+	// a failure-recovery import uses them to tell which transactions were
+	// aborted), so an abort-and-restart is deterministic instead of
+	// guessing from key overlap. Empty on handoffs that predate the
+	// transaction registry.
+	Txns []uint64 `json:"txns,omitempty"`
 }
 
 // HandoffKey is one flow key's routing state inside a Handoff.
