@@ -1,0 +1,470 @@
+package openmb
+
+// Burst data-path tests. The equivalence suite runs every middlebox over
+// the same packet sequence twice — OPENMB_BURST on (vectorized ProcessBurst,
+// batched ingress) versus off (the seed-faithful per-packet path) — and
+// requires identical emitted wire bytes, identical middlebox state, and
+// identical runtime metrics. BenchmarkChainThroughput is the tentpole's
+// headline number: a monitor→NAT→IPS chain with direct co-located handoff,
+// where ns/op is ns/packet; run it plain and with OPENMB_BURST=off to see
+// what the burst path buys.
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"openmb/internal/bed"
+	"openmb/internal/core"
+	"openmb/internal/eval"
+	"openmb/internal/mbox"
+	"openmb/internal/mbox/ips"
+	"openmb/internal/mbox/lb"
+	"openmb/internal/mbox/monitor"
+	"openmb/internal/mbox/nat"
+	"openmb/internal/mbox/re"
+	"openmb/internal/netsim"
+	"openmb/internal/packet"
+	"openmb/internal/trace"
+)
+
+// emitRecorder is a terminal forward sink that records every emitted
+// packet's wire form in arrival order.
+type emitRecorder struct {
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func (e *emitRecorder) fwd(p *packet.Packet) {
+	e.mu.Lock()
+	e.pkts = append(e.pkts, p.Marshal(nil))
+	e.mu.Unlock()
+	p.Release()
+}
+
+func (e *emitRecorder) fwdBurst(ps []*packet.Packet) {
+	e.mu.Lock()
+	for _, p := range ps {
+		e.pkts = append(e.pkts, p.Marshal(nil))
+	}
+	e.mu.Unlock()
+	for _, p := range ps {
+		p.Release()
+	}
+}
+
+func (e *emitRecorder) bytes() [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([][]byte(nil), e.pkts...)
+}
+
+// runBurstMode hosts logic in a runtime constructed under the given burst
+// mode, feeds it clones of pkts (whole bursts of eqChunk when burst is on,
+// per packet otherwise), drains, and returns the emit record plus the
+// runtime for state/metric inspection.
+const eqChunk = 16
+
+func runBurstMode(t *testing.T, burst bool, logic mbox.Logic, pkts []*packet.Packet) (*emitRecorder, *mbox.Runtime) {
+	t.Helper()
+	prev := packet.BurstDefault()
+	packet.SetBurstDefault(burst)
+	rt := mbox.New("eq", logic, mbox.Options{})
+	packet.SetBurstDefault(prev)
+	t.Cleanup(rt.Close)
+	rec := &emitRecorder{}
+	rt.SetForward(rec.fwd)
+	rt.SetForwardBurst(rec.fwdBurst)
+	if burst {
+		for i := 0; i < len(pkts); i += eqChunk {
+			j := i + eqChunk
+			if j > len(pkts) {
+				j = len(pkts)
+			}
+			batch := make([]*packet.Packet, j-i)
+			for k := i; k < j; k++ {
+				batch[k-i] = pkts[k].Clone()
+			}
+			rt.HandleBurst(batch)
+		}
+	} else {
+		for _, p := range pkts {
+			rt.HandlePacket(p.Clone())
+		}
+	}
+	if !rt.Drain(30 * time.Second) {
+		t.Fatal("runtime did not drain")
+	}
+	return rec, rt
+}
+
+// requireSameEmits fails unless both modes emitted byte-identical packet
+// sequences.
+func requireSameEmits(t *testing.T, on, off *emitRecorder) {
+	t.Helper()
+	a, b := on.bytes(), off.bytes()
+	if len(a) != len(b) {
+		t.Fatalf("emit count diverged: burst=%d per-packet=%d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("emitted packet %d diverged between burst and per-packet paths", i)
+		}
+	}
+}
+
+// requireSameMetrics fails unless the packet-path metric counters match.
+func requireSameMetrics(t *testing.T, on, off *mbox.Runtime) {
+	t.Helper()
+	a, b := on.Metrics(), off.Metrics()
+	type cmp struct {
+		name   string
+		av, bv uint64
+	}
+	for _, c := range []cmp{
+		{"Processed", a.Processed, b.Processed},
+		{"Emitted", a.Emitted, b.Emitted},
+		{"DroppedPackets", a.DroppedPackets, b.DroppedPackets},
+		{"IntroRaised", a.IntroRaised, b.IntroRaised},
+		{"EventsRaised", a.EventsRaised, b.EventsRaised},
+	} {
+		if c.av != c.bv {
+			t.Errorf("%s diverged: burst=%d per-packet=%d", c.name, c.av, c.bv)
+		}
+	}
+}
+
+// eqPacket builds a deterministic test packet; reverse swaps the flow's
+// direction.
+func eqPacket(srcIP netip.Addr, srcPort uint16, dstIP netip.Addr, dstPort uint16, flags uint8, payload string, ts int64, reverse bool) *packet.Packet {
+	p := &packet.Packet{
+		SrcIP: srcIP, DstIP: dstIP, Proto: packet.ProtoTCP,
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags, TTL: 64, Timestamp: ts,
+	}
+	if payload != "" {
+		p.Payload = []byte(payload)
+	}
+	if reverse {
+		p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+		p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+	}
+	return p
+}
+
+func TestBurstEquivalenceMonitor(t *testing.T) {
+	server := netip.AddrFrom4([4]byte{1, 1, 1, 1})
+	var pkts []*packet.Packet
+	ts := int64(0)
+	for f := 0; f < 40; f++ {
+		src := netip.AddrFrom4([4]byte{10, 0, 1, byte(f)})
+		sport := uint16(2000 + f)
+		payload := "zzz-not-a-fingerprint"
+		if f%3 == 0 {
+			payload = "GET /index.html HTTP/1.1"
+		}
+		pkts = append(pkts,
+			eqPacket(src, sport, server, 80, packet.FlagSYN, "", ts, false),
+			eqPacket(src, sport, server, 80, packet.FlagACK, payload, ts+1, false),
+			eqPacket(src, sport, server, 80, packet.FlagACK, "HTTP/1.1 200 OK", ts+2, true),
+			eqPacket(src, sport, server, 80, packet.FlagACK, payload, ts+3, false),
+		)
+		ts += 10
+	}
+	monOn, monOff := monitor.New(), monitor.New()
+	recOn, rtOn := runBurstMode(t, true, monOn, pkts)
+	recOff, rtOff := runBurstMode(t, false, monOff, pkts)
+	requireSameEmits(t, recOn, recOff)
+	requireSameMetrics(t, rtOn, rtOff)
+	if !reflect.DeepEqual(monOn.Snapshot(), monOff.Snapshot()) {
+		t.Errorf("monitor snapshots diverged:\nburst:      %+v\nper-packet: %+v", monOn.Snapshot(), monOff.Snapshot())
+	}
+}
+
+func TestBurstEquivalenceNAT(t *testing.T) {
+	extIP := netip.AddrFrom4([4]byte{203, 0, 113, 9})
+	server := netip.AddrFrom4([4]byte{8, 8, 4, 4})
+	var pkts []*packet.Packet
+	ts := int64(0)
+	// Outbound runs per flow (exercising the same-flow lookup cache),
+	// interleaved across flows, then inbound to the deterministically
+	// allocated ports (20000, 20001, ...), one unmapped inbound (dropped),
+	// and pass-through traffic the NAT does not own.
+	for f := 0; f < 12; f++ {
+		src := netip.AddrFrom4([4]byte{10, 2, 0, byte(f)})
+		sport := uint16(4000 + f)
+		for k := 0; k < 3; k++ {
+			pkts = append(pkts, eqPacket(src, sport, server, 443, packet.FlagACK, "out", ts, false))
+			ts++
+		}
+	}
+	for f := 0; f < 12; f++ {
+		pkts = append(pkts, eqPacket(server, 443, extIP, uint16(20000+f), packet.FlagACK, "in", ts, false))
+		ts++
+	}
+	pkts = append(pkts,
+		eqPacket(server, 443, extIP, 29999, packet.FlagACK, "unmapped", ts, false),
+		eqPacket(netip.AddrFrom4([4]byte{172, 16, 0, 1}), 5555, server, 80, packet.FlagACK, "pass", ts+1, false),
+	)
+	natOn, natOff := nat.New(extIP), nat.New(extIP)
+	recOn, rtOn := runBurstMode(t, true, natOn, pkts)
+	recOff, rtOff := runBurstMode(t, false, natOff, pkts)
+	requireSameEmits(t, recOn, recOff)
+	requireSameMetrics(t, rtOn, rtOff)
+	if natOn.MappingCount() != natOff.MappingCount() {
+		t.Fatalf("mapping count diverged: burst=%d per-packet=%d", natOn.MappingCount(), natOff.MappingCount())
+	}
+	for f := 0; f < 12; f++ {
+		src := netip.AddrFrom4([4]byte{10, 2, 0, byte(f)})
+		a, okA := natOn.Lookup(src, uint16(4000+f), packet.ProtoTCP)
+		b, okB := natOff.Lookup(src, uint16(4000+f), packet.ProtoTCP)
+		if okA != okB || a != b {
+			t.Errorf("flow %d mapping diverged: burst=(%d,%v) per-packet=(%d,%v)", f, a, okA, b, okB)
+		}
+	}
+}
+
+func TestBurstEquivalenceIPS(t *testing.T) {
+	var pkts []*packet.Packet
+	ts := int64(0)
+	// A port scan (12 distinct destination ports from one source, tripping
+	// the threshold-10 detector), HTTP conversations on port 80, and FIN
+	// terminations that log connections.
+	scanner := netip.AddrFrom4([4]byte{10, 9, 9, 9})
+	victim := netip.AddrFrom4([4]byte{1, 2, 3, 4})
+	for port := 0; port < 12; port++ {
+		pkts = append(pkts, eqPacket(scanner, uint16(6000+port), victim, uint16(8000+port), packet.FlagSYN, "", ts, false))
+		ts++
+	}
+	web := netip.AddrFrom4([4]byte{5, 6, 7, 8})
+	for f := 0; f < 6; f++ {
+		src := netip.AddrFrom4([4]byte{10, 3, 0, byte(f)})
+		sport := uint16(7000 + f)
+		pkts = append(pkts,
+			eqPacket(src, sport, web, 80, packet.FlagSYN, "", ts, false),
+			eqPacket(src, sport, web, 80, packet.FlagSYN|packet.FlagACK, "", ts+1, true),
+			eqPacket(src, sport, web, 80, packet.FlagACK, "GET /a HTTP/1.1\r\nHost: h\r\n\r\n", ts+2, false),
+			eqPacket(src, sport, web, 80, packet.FlagACK, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n", ts+3, true),
+			eqPacket(src, sport, web, 80, packet.FlagFIN|packet.FlagACK, "", ts+4, false),
+			eqPacket(src, sport, web, 80, packet.FlagFIN|packet.FlagACK, "", ts+5, true),
+		)
+		ts += 10
+	}
+	ipsOn, ipsOff := ips.New(), ips.New()
+	recOn, rtOn := runBurstMode(t, true, ipsOn, pkts)
+	recOff, rtOff := runBurstMode(t, false, ipsOff, pkts)
+	requireSameEmits(t, recOn, recOff)
+	requireSameMetrics(t, rtOn, rtOff)
+	aAl, aDr, aCl, aSc := ipsOn.Report()
+	bAl, bDr, bCl, bSc := ipsOff.Report()
+	if aAl != bAl || aDr != bDr || aCl != bCl || aSc != bSc {
+		t.Errorf("IPS reports diverged: burst=(%d,%d,%d,%d) per-packet=(%d,%d,%d,%d)",
+			aAl, aDr, aCl, aSc, bAl, bDr, bCl, bSc)
+	}
+	if ipsOn.ConnCount() != ipsOff.ConnCount() {
+		t.Errorf("conn count diverged: burst=%d per-packet=%d", ipsOn.ConnCount(), ipsOff.ConnCount())
+	}
+	for _, stream := range []string{"conn", "alert", "http"} {
+		if !reflect.DeepEqual(rtOn.Log(stream), rtOff.Log(stream)) {
+			t.Errorf("%s log diverged:\nburst:      %v\nper-packet: %v", stream, rtOn.Log(stream), rtOff.Log(stream))
+		}
+	}
+}
+
+func TestBurstEquivalenceLB(t *testing.T) {
+	vip := netip.AddrFrom4([4]byte{192, 0, 2, 10})
+	backends := []lb.Backend{
+		{IP: netip.AddrFrom4([4]byte{10, 10, 0, 1}), Port: 8080},
+		{IP: netip.AddrFrom4([4]byte{10, 10, 0, 2}), Port: 8080},
+		{IP: netip.AddrFrom4([4]byte{10, 10, 0, 3}), Port: 8080},
+	}
+	var pkts []*packet.Packet
+	ts := int64(0)
+	// Interleaved clients (round-robin binding order must be preserved by
+	// the burst path), repeated packets per client (the lookup cache), and
+	// pass-through traffic not addressed to the VIP.
+	for round := 0; round < 3; round++ {
+		for c := 0; c < 15; c++ {
+			src := netip.AddrFrom4([4]byte{10, 4, 0, byte(c)})
+			pkts = append(pkts, eqPacket(src, uint16(9000+c), vip, 80, packet.FlagACK, "req", ts, false))
+			ts++
+		}
+	}
+	pkts = append(pkts, eqPacket(netip.AddrFrom4([4]byte{10, 4, 0, 99}), 9099, netip.AddrFrom4([4]byte{9, 9, 9, 9}), 80, packet.FlagACK, "other", ts, false))
+	lbOn := lb.New(vip, 80, backends)
+	lbOff := lb.New(vip, 80, backends)
+	recOn, rtOn := runBurstMode(t, true, lbOn, pkts)
+	recOff, rtOff := runBurstMode(t, false, lbOff, pkts)
+	requireSameEmits(t, recOn, recOff)
+	requireSameMetrics(t, rtOn, rtOff)
+	if lbOn.AssignmentCount() != lbOff.AssignmentCount() {
+		t.Errorf("assignment count diverged: burst=%d per-packet=%d", lbOn.AssignmentCount(), lbOff.AssignmentCount())
+	}
+	if !reflect.DeepEqual(lbOn.BackendLoads(), lbOff.BackendLoads()) {
+		t.Errorf("backend loads diverged:\nburst:      %v\nper-packet: %v", lbOn.BackendLoads(), lbOff.BackendLoads())
+	}
+}
+
+func TestBurstEquivalenceRE(t *testing.T) {
+	run := func(burst bool) ([][]byte, *re.Encoder, *re.Decoder) {
+		prev := packet.BurstDefault()
+		packet.SetBurstDefault(burst)
+		enc := re.NewEncoder(1 << 16)
+		dec := re.NewDecoder(1 << 16)
+		rtE := mbox.New("enc", enc, mbox.Options{})
+		rtD := mbox.New("dec", dec, mbox.Options{})
+		packet.SetBurstDefault(prev)
+		t.Cleanup(func() { rtE.Close(); rtD.Close() })
+		rec := &emitRecorder{}
+		rtE.SetForward(rtD.HandlePacket)
+		rtE.SetForwardBurst(rtD.HandleBurst)
+		rtD.SetForward(rec.fwd)
+		rtD.SetForwardBurst(rec.fwdBurst)
+
+		chunk := bytes.Repeat([]byte("redundant-region-for-the-cache!"), 8)
+		server := netip.AddrFrom4([4]byte{8, 8, 8, 8})
+		var pkts []*packet.Packet
+		ts := int64(0)
+		for i := 0; i < 48; i++ {
+			src := netip.AddrFrom4([4]byte{10, 5, 0, byte(i % 6)})
+			payload := string(chunk) + "unique-tail"
+			if i%7 == 0 {
+				payload = "short-novel-payload"
+			}
+			pkts = append(pkts, eqPacket(src, uint16(10000+i%6), server, 9000, packet.FlagACK, payload, ts, false))
+			ts++
+		}
+		if burst {
+			for i := 0; i < len(pkts); i += eqChunk {
+				j := i + eqChunk
+				if j > len(pkts) {
+					j = len(pkts)
+				}
+				batch := make([]*packet.Packet, j-i)
+				for k := i; k < j; k++ {
+					batch[k-i] = pkts[k].Clone()
+				}
+				rtE.HandleBurst(batch)
+			}
+		} else {
+			for _, p := range pkts {
+				rtE.HandlePacket(p.Clone())
+			}
+		}
+		if !rtE.Drain(30*time.Second) || !rtD.Drain(30*time.Second) {
+			t.Fatal("RE chain did not drain")
+		}
+		return rec.bytes(), enc, dec
+	}
+	outOn, encOn, decOn := run(true)
+	outOff, encOff, decOff := run(false)
+	if len(outOn) != len(outOff) {
+		t.Fatalf("decoded emit count diverged: burst=%d per-packet=%d", len(outOn), len(outOff))
+	}
+	for i := range outOn {
+		if !bytes.Equal(outOn[i], outOff[i]) {
+			t.Fatalf("decoded packet %d diverged between burst and per-packet paths", i)
+		}
+	}
+	aIn, aOut, aMatch, aM := encOn.Report()
+	bIn, bOut, bMatch, bM := encOff.Report()
+	if aIn != bIn || aOut != bOut || aMatch != bMatch || aM != bM {
+		t.Errorf("encoder reports diverged: burst=(%d,%d,%d,%d) per-packet=(%d,%d,%d,%d)",
+			aIn, aOut, aMatch, aM, bIn, bOut, bMatch, bM)
+	}
+	if decOn.CachePos() != decOff.CachePos() {
+		t.Errorf("decoder cache position diverged: burst=%d per-packet=%d", decOn.CachePos(), decOff.CachePos())
+	}
+}
+
+// TestBurstSteadyStateAllocs is the burst path's allocation invariant: a
+// whole 64-packet burst through the three-hop chain (pooled injection,
+// direct handoff, vectorized ProcessBurst at every hop) allocates nothing
+// per packet in steady state.
+func TestBurstSteadyStateAllocs(t *testing.T) {
+	if !packet.BurstDefault() {
+		t.Skip("OPENMB_BURST=off: the per-packet ablation has no burst allocation invariant")
+	}
+	rig := eval.NewChainRig(64)
+	defer rig.Close()
+	// Warm up: materialize every flow's records at all hops and size the
+	// packet pool to the in-flight window.
+	if err := rig.Inject(8192); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := rig.Inject(64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPacket := allocs / 64; perPacket > 0.5 {
+		t.Errorf("burst chain steady state: %.3f allocs/packet (%.1f per 64-packet burst), want ~0", perPacket, allocs)
+	}
+}
+
+// TestBurstChainBorrowDiscipline replays a trace through a full testbed
+// chain — switch, NAT colocated with an IPS (direct handoff), second
+// switch, recording host — on the zero-copy ring path with an ingress drop
+// fault, under the ambient burst mode, and requires every borrowed pooled
+// packet released exactly once after quiesce.
+func TestBurstChainBorrowDiscipline(t *testing.T) {
+	b, err := bed.NewWithNet(core.Options{QuietPeriod: 50 * time.Millisecond}, netsim.Options{ZeroCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Pool = packet.NewPool(packet.PoolOptions{Accounting: true})
+
+	sw := b.AddSwitch("s1")
+	sw2 := b.AddSwitch("s2")
+	dst := b.AddHost("dst", 1<<16)
+	b.AddStandaloneMB("nat1", nat.New(netip.AddrFrom4([4]byte{203, 0, 113, 1})), "")
+	b.AddStandaloneMB("ips1", ips.New(), "s2")
+	if err := b.Colocate("nat1", "ips1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"s1", "nat1"}, {"ips1", "s2"}, {"s2", "dst"}} {
+		if err := b.Connect(pair[0], pair[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw.Install(netsim.Rule{Priority: 1, Match: packet.MatchAll, OutPorts: []string{"nat1"}})
+	sw2.Install(netsim.Rule{Priority: 1, Match: packet.MatchAll, OutPorts: []string{"dst"}})
+	if err := b.Net.SetFault(netsim.Ingress, "s1", netsim.DropFraction(0.1, 23)); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.Cloud(trace.CloudConfig{Seed: 23, Flows: 80})
+	if err := b.InjectTrace("s1", tr.Packets, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Quiesce(30 * time.Second) {
+		t.Fatal("bed did not quiesce")
+	}
+	if dst.Count() == 0 {
+		t.Fatal("no packets made it through the chain")
+	}
+	if err := b.Pool.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkChainThroughput drives the co-located monitor→NAT→IPS chain
+// closed-loop; ns/op is ns/packet end to end. Run with OPENMB_BURST=off for
+// the per-packet ablation — the delta is the tentpole's win.
+func BenchmarkChainThroughput(b *testing.B) {
+	rig := eval.NewChainRig(0)
+	defer rig.Close()
+	if err := rig.Inject(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := rig.Inject(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}

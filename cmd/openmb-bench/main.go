@@ -2,7 +2,7 @@
 // evaluation (§8) and prints them as text tables. Run with -exp all (the
 // default) or a comma-separated subset of experiment ids:
 //
-//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos
+//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos chain
 //
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
@@ -29,6 +29,7 @@ import (
 
 	"openmb/internal/eval"
 	"openmb/internal/netsim"
+	"openmb/internal/packet"
 	"openmb/internal/sbi"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	shards := flag.Int("shards", eval.Shards(), "controller transaction-router shards (0 = auto from GOMAXPROCS, 1 = serialized ablation)")
 	zerocopy := flag.Bool("zerocopy", netsim.ZeroCopyDefault(), "zero-copy netsim data path: pooled packets over ring-buffer links (false = copying ablation)")
 	coalesce := flag.Bool("coalesce", sbi.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
+	burst := flag.Bool("burst", packet.BurstDefault(), "burst data path: vectorized NF chains, batched ingress, direct co-located handoff (false = the seed's per-packet ablation; default from OPENMB_BURST)")
 	flag.Parse()
 
 	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
@@ -54,7 +56,8 @@ func main() {
 	}
 	netsim.SetZeroCopyDefault(*zerocopy)
 	sbi.SetCoalesceDefault(*coalesce)
-	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto) zerocopy=%v coalesce=%v\n\n", *codec, *batch, *shards, *zerocopy, *coalesce)
+	packet.SetBurstDefault(*burst)
+	fmt.Printf("transfer tuning: codec=%s batch=%d shards=%d (0=auto) zerocopy=%v coalesce=%v burst=%v\n\n", *codec, *batch, *shards, *zerocopy, *coalesce, *burst)
 
 	full := *scale == "full"
 	want := map[string]bool{}
@@ -119,6 +122,9 @@ func main() {
 				Pairs:  pick(full, 4, 2),
 				Chunks: pick(full, 2000, 600),
 			})
+		}},
+		{"chain", func() (*eval.Table, error) {
+			return eval.ChainThroughput(eval.ChainConfig{Packets: pick(full, 1000000, 200000)})
 		}},
 	}
 

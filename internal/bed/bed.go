@@ -87,6 +87,9 @@ func (b *Bed) AddMB(name string, logic mbox.Logic, forwardTo string) (*mbox.Runt
 			// with no cable.
 			_ = b.Net.Send(name, forwardTo, p)
 		})
+		rt.SetForwardBurst(func(ps []*packet.Packet) {
+			_ = b.Net.SendBurst(name, forwardTo, ps)
+		})
 	}
 	b.Net.Attach(name, rt)
 	if err := rt.Connect(b.TR, ctrlAddr); err != nil {
@@ -110,10 +113,35 @@ func (b *Bed) AddStandaloneMB(name string, logic mbox.Logic, forwardTo string) *
 		rt.SetForward(func(p *packet.Packet) {
 			_ = b.Net.Send(name, forwardTo, p)
 		})
+		rt.SetForwardBurst(func(ps []*packet.Packet) {
+			_ = b.Net.SendBurst(name, forwardTo, ps)
+		})
 	}
 	b.Net.Attach(name, rt)
 	b.mbs[name] = rt
 	return rt
+}
+
+// Colocate rewires from's emit path to hand packets directly to to's
+// ingress — the shared-memory fast path between middleboxes hosted on the
+// same node. Emitted packets (and, in burst mode, whole emitted bursts in a
+// single ring synchronization) go straight into the peer runtime's ingress
+// ring, skipping the simulated wire entirely; the paper's co-located NF
+// chains get exactly this hand-off instead of a NIC round-trip. Both
+// middleboxes must already be added; any forwardTo given at add time is
+// overridden.
+func (b *Bed) Colocate(from, to string) error {
+	src, ok := b.mbs[from]
+	if !ok {
+		return fmt.Errorf("bed: colocate: no middlebox %q", from)
+	}
+	dst, ok := b.mbs[to]
+	if !ok {
+		return fmt.Errorf("bed: colocate: no middlebox %q", to)
+	}
+	src.SetForward(dst.HandlePacket)
+	src.SetForwardBurst(dst.HandleBurst)
+	return nil
 }
 
 // Connect links two attached endpoints.

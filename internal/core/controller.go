@@ -150,6 +150,11 @@ type Controller struct {
 	mu  sync.Mutex
 	mbs map[string]*mbConn
 
+	// flusher is the cross-connection flush scheduler: southbound frames
+	// (requests, pings, reprocess forwards) encode deferred and one
+	// goroutine flushes every dirty connection per pass. See flusher.go.
+	flusher *connFlusher
+
 	// waiters blocks WaitForMB callers per name. It rides its own small
 	// lock rather than mu: a registration storm (many MBs connecting,
 	// many callers waiting) otherwise serializes waiter churn against
@@ -188,6 +193,7 @@ type Controller struct {
 func NewController(opts Options) *Controller {
 	opts.setDefaults()
 	c := &Controller{opts: opts, mbs: map[string]*mbConn{}, waiters: map[string][]chan struct{}{}}
+	c.flusher = newConnFlusher()
 	c.router = newTxnRouter(opts.Shards)
 	c.completer = newCompleter(c)
 	c.registry = newTxnRegistry()
@@ -531,6 +537,10 @@ func (c *Controller) Close() {
 	for _, mb := range mbs {
 		mb.conn.Close()
 	}
+	// The flush scheduler stops after the connections close: its final
+	// pass drains whatever was marked dirty (flushes on closed conns fail
+	// harmlessly), and later senders fall back to inline flushes.
+	c.flusher.close()
 	// Stop the completer last: pending completions dispatch immediately
 	// and their southbound calls fail fast on the closed connections.
 	c.completer.close()
@@ -680,7 +690,7 @@ func (mb *mbConn) heartbeat(c *Controller) {
 			// At most HeartbeatMisses-1 of these can pile up on a dead
 			// peer before the close above releases them all.
 			go func() {
-				_ = mb.conn.Send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpPing})
+				_ = mb.send(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpPing})
 			}()
 		}
 	}
@@ -897,12 +907,21 @@ func (mb *mbConn) readLoop() error {
 	}
 }
 
+// send routes one southbound frame through the owning replica's flush
+// scheduler: the frame encodes immediately (deferred) and the connection is
+// flushed on the scheduler's next pass, so concurrent senders across all
+// connections share flushes instead of each paying its own. With coalescing
+// off the encode flushed inline and the scheduled pass is a no-op.
+func (mb *mbConn) send(m *sbi.Message) error {
+	return mb.controller().flusher.send(mb.conn, m)
+}
+
 // call sends a request and waits for its single done/error reply.
 func (mb *mbConn) call(req *sbi.Message, timeout time.Duration) (*sbi.Message, error) {
 	id, cl := mb.newCall(nil)
 	defer mb.dropCall(id)
 	req.ID = id
-	if err := mb.conn.Send(req); err != nil {
+	if err := mb.send(req); err != nil {
 		// Usually a dead connection, but the binary codec also rejects
 		// unencodable frames here — keep the underlying error visible.
 		return nil, fmt.Errorf("core: %s %s: send failed (middlebox disconnected?): %w", mb.name, req.Op, err)
@@ -935,7 +954,7 @@ func (mb *mbConn) stream(t *txn, req *sbi.Message, timeout time.Duration, onChun
 	id, cl := mb.newCall(t)
 	defer mb.dropCall(id)
 	req.ID = id
-	if err := mb.conn.Send(req); err != nil {
+	if err := mb.send(req); err != nil {
 		return 0, fmt.Errorf("core: %s %s: send failed (middlebox disconnected?): %w", mb.name, req.Op, err)
 	}
 	deadline := time.NewTimer(timeout)

@@ -281,10 +281,13 @@ func (r *txnRouter) purgeMB(mb *mbConn) {
 
 // forwardEvents sends reprocess events to dst in order — one frame per call
 // (up to the destination's announced batch) rather than one frame per
-// event, so a buffered burst released by a put ACK costs one encode-and-
-// flush decision instead of len(evs). Destinations that did not announce
-// event batching in their hello get the per-event framing. Never called
-// with a shard lock held.
+// event, and one explicit flush for the whole forwarded batch rather than
+// one flush decision per frame. Destinations that did not announce event
+// batching in their hello get the per-event framing. The flush is inline
+// (not handed to the flush scheduler) on purpose: a drain blocking here
+// against a slow destination is the router's ordered-drain backpressure,
+// which eviction-during-drain correctness leans on. Never called with a
+// shard lock held.
 func forwardEvents(c *Controller, dst *mbConn, evs []*sbi.Event) {
 	if len(evs) == 0 {
 		return
@@ -294,11 +297,14 @@ func forwardEvents(c *Controller, dst *mbConn, evs []*sbi.Event) {
 	if batch < 1 {
 		batch = 1
 	}
-	_ = sbi.FrameEvents(evs, batch, func(frame []*sbi.Event) error {
+	err := sbi.FrameEvents(evs, batch, func(frame []*sbi.Event) error {
 		m := &sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpReprocess}
 		m.SetEvents(frame)
-		return dst.conn.Send(m)
+		return dst.conn.SendDeferred(m)
 	})
+	if err == nil {
+		_ = dst.conn.Flush()
+	}
 }
 
 // routeEvent dispatches an MB-raised event: introspection events go to the

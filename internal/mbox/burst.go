@@ -1,0 +1,202 @@
+package mbox
+
+import (
+	"time"
+
+	"openmb/internal/packet"
+)
+
+// This file is the runtime half of the burst-mode data path (OPENMB_BURST,
+// default on): the vectorized worker that partitions ingress batches into
+// live bursts, the per-burst scratch state contexts share, and the batched
+// ingress/egress hand-offs (HandleBurst in, flushEmits out). The per-packet
+// path in runtime.go is the seed-faithful ablation and stays byte-for-byte
+// untouched when the switch is off.
+
+// burstState is the scratch state one burst's contexts share: the buffered
+// emits (flushed downstream in one hand-off after ProcessBurst) and a lazy
+// snapshot of the introspection filters (one filtersMu acquisition and one
+// clock read per burst, however many events the burst raises).
+type burstState struct {
+	emits  []*packet.Packet
+	fsnap  []eventFilter
+	fnow   time.Time
+	fvalid bool
+}
+
+func (bs *burstState) reset() {
+	for i := range bs.emits {
+		bs.emits[i] = nil
+	}
+	bs.emits = bs.emits[:0]
+	bs.fsnap = bs.fsnap[:0]
+	bs.fvalid = false
+}
+
+// HandleBurst implements netsim.BurstEndpoint: it enqueues a whole delivery
+// batch in one ring synchronization. Packets that do not fit (queue full, or
+// ring closed after Close) are dropped and their borrows released, exactly as
+// HandlePacket sheds them one at a time; the ring accepts a prefix in order,
+// so the rejects are the trailing packets.
+func (rt *Runtime) HandleBurst(ps []*packet.Packet) {
+	n := len(ps)
+	if n == 0 {
+		return
+	}
+	rt.pending.Add(int64(n))
+	if rejected := rt.ring.tryPushBurst(ps); rejected > 0 {
+		rt.droppedPackets.Add(uint64(rejected))
+		rt.pending.Add(int64(-rejected))
+		for _, p := range ps[n-rejected:] {
+			p.Release()
+		}
+	}
+}
+
+// workerBurst is the vectorized drain loop. Each popped batch is partitioned
+// in order: replayed reprocess packets keep the per-packet process path (they
+// carry per-item suppression state and are rare), and every maximal run of
+// live packets becomes one burst through processBurst. Partitioning preserves
+// the single-threaded packet stream the per-packet worker guarantees — the
+// logic still observes packets strictly in arrival order.
+func (rt *Runtime) workerBurst() {
+	var rctx Context
+	var bs burstState
+	ctxs := make([]Context, ingressBatch)
+	pkts := make([]*packet.Packet, ingressBatch)
+	batch := make([]ingressItem, 0, ingressBatch)
+	for {
+		batch = rt.ring.popBatch(batch)
+		if len(batch) == 0 {
+			return
+		}
+		i := 0
+		for i < len(batch) {
+			if it := batch[i]; it.replay {
+				batch[i] = ingressItem{}
+				i++
+				select {
+				case <-rt.stop:
+					rt.pending.Add(-1)
+					it.p.Release()
+				default:
+					rt.process(&rctx, it.p, true, it.shared)
+				}
+				continue
+			}
+			j := i
+			for j < len(batch) && !batch[j].replay {
+				pkts[j-i] = batch[j].p
+				batch[j] = ingressItem{}
+				j++
+			}
+			rt.processBurst(ctxs[:j-i], pkts[:j-i], &bs)
+			i = j
+		}
+	}
+}
+
+// processBurst runs one run of live packets through the logic — natively via
+// ProcessBurst when the logic implements BurstLogic, otherwise through a
+// per-packet Process shim — then raises any reprocess events, flushes the
+// buffered emits downstream in one hand-off, and releases the runtime's
+// borrows. The latency clock is read once per burst (not twice per packet)
+// and the mean attributed across the burst's packets, with the during-op /
+// normal split decided at burst start.
+func (rt *Runtime) processBurst(ctxs []Context, pkts []*packet.Packet, bs *burstState) {
+	n := len(pkts)
+	select {
+	case <-rt.stop:
+		rt.pending.Add(int64(-n))
+		for i, p := range pkts {
+			p.Release()
+			pkts[i] = nil
+		}
+		return
+	default:
+	}
+	bs.reset()
+	duringOp := rt.activeOps.Load() > 0
+	start := time.Now()
+	for i := range ctxs {
+		ctxs[i] = Context{rt: rt, pkt: pkts[i], burst: bs}
+	}
+	if rt.burstLogic != nil {
+		rt.burstLogic.ProcessBurst(ctxs, pkts)
+	} else {
+		for i := range ctxs {
+			rt.logic.Process(&ctxs[i], pkts[i])
+		}
+	}
+	elapsed := time.Since(start)
+	if duringOp {
+		rt.latDuringOpNS.Add(int64(elapsed))
+		rt.latDuringOpN.Add(int64(n))
+	} else {
+		rt.latNormalNS.Add(int64(elapsed))
+		rt.latNormalN.Add(int64(n))
+	}
+	for i := range ctxs {
+		rt.maybeRaiseReprocess(&ctxs[i], pkts[i])
+	}
+	rt.flushEmits(bs)
+	rt.processed.Add(uint64(n))
+	rt.pending.Add(int64(-n))
+	for i, p := range pkts {
+		p.Release()
+		pkts[i] = nil
+	}
+}
+
+// flushEmits hands one burst's buffered emits downstream: through the
+// SetForwardBurst sink in a single call when one is wired (the co-located
+// handoff), else through the per-packet forward sink in order. Reference
+// ownership transfers with the hand-off, exactly as per-packet Emit
+// forwarding does.
+func (rt *Runtime) flushEmits(bs *burstState) {
+	if len(bs.emits) == 0 {
+		return
+	}
+	rt.emitted.Add(uint64(len(bs.emits)))
+	rt.forwardMu.RLock()
+	fb, fn := rt.forwardBurst, rt.forward
+	rt.forwardMu.RUnlock()
+	switch {
+	case fb != nil:
+		fb(bs.emits)
+	case fn != nil:
+		for _, p := range bs.emits {
+			fn(p)
+		}
+	default:
+		// No sink: counted but discarded, as in forwardPacket.
+		for _, p := range bs.emits {
+			p.Release()
+		}
+	}
+}
+
+// filterAllowsBurst is filterAllows evaluated against the burst's lazily
+// captured filter snapshot: the first event of a burst pays the filtersMu
+// acquisition and the expiry clock read, burst-mates reuse both. Snapshot
+// staleness is bounded by one burst (tens of microseconds) — well inside the
+// delivery slack filter changes already tolerate on the wire.
+func (rt *Runtime) filterAllowsBurst(bs *burstState, code string, key packet.FlowKey) bool {
+	if !bs.fvalid {
+		rt.filtersMu.Lock()
+		bs.fsnap = append(bs.fsnap[:0], rt.filters...)
+		rt.filtersMu.Unlock()
+		bs.fnow = time.Now()
+		bs.fvalid = true
+	}
+	for i := len(bs.fsnap) - 1; i >= 0; i-- {
+		f := bs.fsnap[i]
+		if !f.expires.IsZero() && bs.fnow.After(f.expires) {
+			continue
+		}
+		if len(f.codePrefix) <= len(code) && code[:len(f.codePrefix)] == f.codePrefix && f.match.MatchEither(key) {
+			return f.enable
+		}
+	}
+	return false
+}

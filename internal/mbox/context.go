@@ -34,6 +34,12 @@ type Context struct {
 	raiseClass  state.Class
 	raiseShared bool
 	emitted     int
+
+	// burst is set on contexts handed to the vectorized burst path: Emit
+	// buffers into it (one downstream hand-off per burst instead of one
+	// per packet) and introspection filters are evaluated against a
+	// once-per-burst snapshot. Nil on the per-packet path.
+	burst *burstState
 }
 
 type touchRef struct {
@@ -95,6 +101,14 @@ func (c *Context) Emit(p *packet.Packet) {
 	if p == c.pkt {
 		p.Retain()
 	}
+	if c.burst != nil {
+		// Buffered: the runtime flushes the whole burst's emits downstream
+		// in one hand-off after ProcessBurst returns. This is why Emit is
+		// safe to call under the logic's lock on the burst path — nothing
+		// leaves the runtime here.
+		c.burst.emits = append(c.burst.emits, p)
+		return
+	}
 	c.rt.forwardPacket(p)
 }
 
@@ -140,6 +154,15 @@ func NewBenchContext() *Context {
 // been enabled, and never during replay.
 func (c *Context) RaiseIntrospection(code string, key packet.FlowKey, values map[string]string) {
 	if c.Replay {
+		return
+	}
+	if c.burst != nil {
+		// Evaluate against the burst's filter snapshot: one filtersMu
+		// acquisition and one clock read per burst, not per event.
+		if !c.rt.filterAllowsBurst(c.burst, code, key) {
+			return
+		}
+		c.rt.emitIntrospection(code, key, values)
 		return
 	}
 	c.rt.raiseIntrospection(code, key, values)

@@ -16,6 +16,8 @@ import (
 // Kind is the middlebox type name.
 const Kind = "ips"
 
+var _ mbox.BurstLogic = (*IPS)(nil)
+
 // IPS is the middlebox logic. It implements mbox.Logic.
 type IPS struct {
 	mu sync.Mutex
@@ -110,15 +112,89 @@ func (i *IPS) table(proto uint8) map[packet.FlowKey]*Conn {
 // detector, and forwards the packet unless a drop rule fired.
 func (i *IPS) Process(ctx *mbox.Context, p *packet.Packet) {
 	key := p.Flow().Canonical()
-	var logLines []string
-	var httpLines []string
-	drop := false
-
 	i.mu.Lock()
 	if i.sigsDirty {
 		i.recompileLocked()
 	}
-	terminated := false
+	logLines, httpLines, drop, terminated := i.processLocked(ctx, p, key)
+	i.mu.Unlock()
+
+	for _, line := range httpLines {
+		ctx.Log("http", line)
+	}
+	for _, line := range logLines {
+		if strings.HasPrefix(line, "sig ") || strings.HasPrefix(line, "scan ") {
+			ctx.Log("alert", line)
+		} else {
+			ctx.Log("conn", line)
+		}
+	}
+	if terminated {
+		ctx.RaiseIntrospection("ips.conn.closed", key, nil)
+	}
+	if !drop {
+		ctx.Emit(p)
+	}
+}
+
+// ipsEffect records one packet's out-of-lock side effects from a burst: log
+// lines and the termination raise must run outside i.mu, so ProcessBurst
+// collects them and replays after the lock in packet order. The steady state
+// (no alerts, no terminations) appends nothing.
+type ipsEffect struct {
+	idx        int
+	key        packet.FlowKey
+	logLines   []string
+	httpLines  []string
+	terminated bool
+}
+
+// ProcessBurst implements mbox.BurstLogic: one mutex acquisition and at most
+// one signature recompilation cover the whole burst; the per-packet analyzer
+// path is processLocked, byte-identical to Process's. Emits are buffered by
+// the burst context, so they are appended in-loop under the lock in packet
+// order.
+func (i *IPS) ProcessBurst(ctxs []mbox.Context, pkts []*packet.Packet) {
+	var effects []ipsEffect
+	i.mu.Lock()
+	if i.sigsDirty {
+		i.recompileLocked()
+	}
+	for idx, p := range pkts {
+		ctx := &ctxs[idx]
+		key := p.Flow().Canonical()
+		logLines, httpLines, drop, terminated := i.processLocked(ctx, p, key)
+		if !drop {
+			ctx.Emit(p)
+		}
+		if len(logLines) > 0 || len(httpLines) > 0 || terminated {
+			effects = append(effects, ipsEffect{idx: idx, key: key, logLines: logLines, httpLines: httpLines, terminated: terminated})
+		}
+	}
+	i.mu.Unlock()
+	for _, e := range effects {
+		ctx := &ctxs[e.idx]
+		for _, line := range e.httpLines {
+			ctx.Log("http", line)
+		}
+		for _, line := range e.logLines {
+			if strings.HasPrefix(line, "sig ") || strings.HasPrefix(line, "scan ") {
+				ctx.Log("alert", line)
+			} else {
+				ctx.Log("conn", line)
+			}
+		}
+		if e.terminated {
+			ctx.RaiseIntrospection("ips.conn.closed", e.key, nil)
+		}
+	}
+}
+
+// processLocked is the per-packet Bro path shared by Process and
+// ProcessBurst. Caller holds i.mu and has already handled lazy signature
+// recompilation. Log lines and the termination flag are returned for the
+// caller to act on outside the lock.
+func (i *IPS) processLocked(ctx *mbox.Context, p *packet.Packet, key packet.FlowKey) (logLines, httpLines []string, drop, terminated bool) {
 	if !ctx.SkipPerflow() {
 		tbl := i.table(p.Proto)
 		conn, ok := tbl[key]
@@ -195,24 +271,7 @@ func (i *IPS) Process(ctx *mbox.Context, p *packet.Packet) {
 		}
 		ctx.TouchShared(state.Supporting)
 	}
-	i.mu.Unlock()
-
-	for _, line := range httpLines {
-		ctx.Log("http", line)
-	}
-	for _, line := range logLines {
-		if strings.HasPrefix(line, "sig ") || strings.HasPrefix(line, "scan ") {
-			ctx.Log("alert", line)
-		} else {
-			ctx.Log("conn", line)
-		}
-	}
-	if terminated {
-		ctx.RaiseIntrospection("ips.conn.closed", key, nil)
-	}
-	if !drop {
-		ctx.Emit(p)
-	}
+	return logLines, httpLines, drop, terminated
 }
 
 // SweepIdle logs and removes connections idle since before cutoff (trace

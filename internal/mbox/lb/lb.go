@@ -27,6 +27,8 @@ import (
 // Kind is the middlebox type name.
 const Kind = "lb"
 
+var _ mbox.BurstLogic = (*LB)(nil)
+
 // Backend is one load-balanced server.
 type Backend struct {
 	IP   netip.Addr
@@ -163,6 +165,65 @@ func (l *LB) Process(ctx *mbox.Context, p *packet.Packet) {
 	out.DstIP = backend.IP
 	out.DstPort = backend.Port
 	ctx.Emit(out)
+}
+
+// lbRaise is one deferred "lb.assigned" raise from a burst: raises must run
+// outside l.mu, so ProcessBurst collects them under the lock and replays
+// them after it in packet order.
+type lbRaise struct {
+	idx     int
+	key     packet.FlowKey
+	backend Backend
+}
+
+// ProcessBurst implements mbox.BurstLogic: one mutex acquisition and at most
+// one config re-parse cover the whole burst, and consecutive packets from
+// the same source endpoint reuse the last assignment lookup. Emits are
+// buffered by the burst context, so they are appended in-loop under the lock
+// in packet order.
+func (l *LB) ProcessBurst(ctxs []mbox.Context, pkts []*packet.Packet) {
+	var raises []lbRaise
+	var lastKey packet.FlowKey
+	var lastA *assignment
+	l.mu.Lock()
+	if l.dirty {
+		l.applyConfigLocked()
+	}
+	for i, p := range pkts {
+		ctx := &ctxs[i]
+		if p.DstIP != l.vip || p.DstPort != l.vipPort {
+			ctx.Emit(p) // return traffic or unrelated: pass through
+			continue
+		}
+		if len(l.backends) == 0 {
+			continue // no backends: drop
+		}
+		key := srcKey(p)
+		var a *assignment
+		if lastA != nil && lastKey == key {
+			a = lastA
+		} else {
+			var ok bool
+			a, ok = l.assigns[key]
+			if !ok {
+				a = &assignment{Backend: l.backends[l.rr%len(l.backends)]}
+				l.rr++
+				l.assigns[key] = a
+				raises = append(raises, lbRaise{idx: i, key: key, backend: a.Backend})
+			}
+			lastKey, lastA = key, a
+		}
+		a.Packets++
+		ctx.Touch(state.Supporting, key)
+		out := p.Clone()
+		out.DstIP = a.Backend.IP
+		out.DstPort = a.Backend.Port
+		ctx.Emit(out)
+	}
+	l.mu.Unlock()
+	for _, r := range raises {
+		ctxs[r.idx].RaiseIntrospection("lb.assigned", r.key, map[string]string{"server": r.backend.String()})
+	}
 }
 
 // GetPerflow implements mbox.Logic. Destination constraints are rejected:

@@ -93,3 +93,26 @@ type Logic interface {
 	// Config returns the middlebox's hierarchical configuration tree.
 	Config() *state.ConfigTree
 }
+
+// BurstLogic is optionally implemented by middlebox logic that can process a
+// whole ingress burst in one call, amortizing lock acquisitions, config
+// parses, and per-flow map lookups across the batch. ctxs[i] is the Context
+// for pkts[i] (len(ctxs) == len(pkts), all live — the runtime routes replayed
+// reprocess packets through Process individually).
+//
+// The contract matches Process per element: the implementation must produce
+// the same state updates, Touch/TouchShared calls, Emits, Logs, and raised
+// events — in the same per-packet order — as len(pkts) sequential Process
+// calls would. Packet references are owned by the runtime exactly as in
+// Process (Emit of pkts[i] takes its own reference; the runtime releases its
+// borrow after ProcessBurst returns). Emits are buffered by the Context and
+// flushed downstream in one hand-off after the call, so Emit is safe — and
+// intended — to call while holding the logic's own lock.
+//
+// Logic that does not implement BurstLogic runs unchanged: the runtime falls
+// back to a per-packet Process loop (still amortizing the runtime-side costs:
+// one latency clock pair and one emit hand-off per burst).
+type BurstLogic interface {
+	Logic
+	ProcessBurst(ctxs []Context, pkts []*packet.Packet)
+}

@@ -36,6 +36,8 @@ import (
 // Kind is the middlebox type name.
 const Kind = "monitor"
 
+var _ mbox.BurstLogic = (*Monitor)(nil)
+
 // connRecord is the per-flow reporting state: PRADS's connection object.
 type connRecord struct {
 	Key       packet.FlowKey
@@ -213,24 +215,55 @@ func (m *Monitor) Kind() string { return Kind }
 // Process implements mbox.Logic: update the flow's connection record and the
 // shared statistics.
 func (m *Monitor) Process(ctx *mbox.Context, p *packet.Packet) {
+	m.mu.Lock()
+	key, newService := m.processLocked(ctx, p, nil)
+	m.mu.Unlock()
+
+	if newService != "" {
+		ctx.RaiseIntrospection("monitor.asset.detected", key, map[string]string{"service": newService})
+	}
+	// A passive monitor taps traffic; it does not forward packets.
+}
+
+// recCache caches the last (canonical key -> record) resolution within one
+// burst, so consecutive packets of the same flow — the common arrival
+// pattern — skip the connection-table lookup. Only valid while m.mu is held
+// continuously (ProcessBurst holds it for the whole burst).
+type recCache struct {
+	key packet.FlowKey
+	rec *connRecord
+}
+
+// processLocked is the per-packet body shared by Process and ProcessBurst.
+// Caller holds m.mu. It returns the packet's canonical key and the newly
+// detected service name ("" if none) for the introspection raise, which must
+// happen outside the lock.
+func (m *Monitor) processLocked(ctx *mbox.Context, p *packet.Packet, cache *recCache) (packet.FlowKey, string) {
 	key := p.Flow().Canonical()
-	forward := p.Flow() == key
 	dir := 0
-	if !forward {
+	if p.Flow() != key {
 		dir = 1
 	}
-	m.mu.Lock()
 	newService := ""
 	if !ctx.SkipPerflow() {
-		rec, ok := m.conns[key]
-		if !ok {
-			rec = &connRecord{Key: key, FirstSeen: p.Timestamp}
-			m.conns[key] = rec
-			if m.index != nil {
-				m.index.Insert(key)
+		var rec *connRecord
+		if cache != nil && cache.rec != nil && cache.key == key {
+			rec = cache.rec
+		} else {
+			var ok bool
+			rec, ok = m.conns[key]
+			if !ok {
+				rec = &connRecord{Key: key, FirstSeen: p.Timestamp}
+				m.conns[key] = rec
+				if m.index != nil {
+					m.index.Insert(key)
+				}
+				if !ctx.SkipShared() {
+					m.shared.Flows++
+				}
 			}
-			if !ctx.SkipShared() {
-				m.shared.Flows++
+			if cache != nil {
+				cache.key, cache.rec = key, rec
 			}
 		}
 		rec.LastSeen = p.Timestamp
@@ -268,12 +301,32 @@ func (m *Monitor) Process(ctx *mbox.Context, p *packet.Packet) {
 		}
 		ctx.TouchShared(state.Reporting)
 	}
-	m.mu.Unlock()
+	return key, newService
+}
 
-	if newService != "" {
-		ctx.RaiseIntrospection("monitor.asset.detected", key, map[string]string{"service": newService})
+// ProcessBurst implements mbox.BurstLogic: one mutex acquisition covers the
+// whole burst, and consecutive same-flow packets reuse the last record
+// lookup. Introspection raises are collected under the lock and raised after
+// it in packet order, exactly as the per-packet path orders them; the common
+// case (no new detections) allocates nothing.
+func (m *Monitor) ProcessBurst(ctxs []mbox.Context, pkts []*packet.Packet) {
+	type detection struct {
+		idx     int
+		key     packet.FlowKey
+		service string
 	}
-	// A passive monitor taps traffic; it does not forward packets.
+	var found []detection
+	var cache recCache
+	m.mu.Lock()
+	for i, p := range pkts {
+		if key, svc := m.processLocked(&ctxs[i], p, &cache); svc != "" {
+			found = append(found, detection{idx: i, key: key, service: svc})
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range found {
+		ctxs[d.idx].RaiseIntrospection("monitor.asset.detected", d.key, map[string]string{"service": d.service})
+	}
 }
 
 // osFromTTL is the classic passive-OS heuristic from initial TTL.

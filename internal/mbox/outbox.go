@@ -25,6 +25,12 @@ const defaultEventWindow = 2 * time.Millisecond
 // Options.EventWindow doc.
 const maxEventWindow = 10 * time.Millisecond
 
+// minEventWindow is the floor the adaptive coalescing window shrinks to
+// under light event load: deep enough that near-simultaneous events still
+// share a frame, shallow enough that a lone event's delivery latency is
+// dominated by scheduling, not by the linger.
+const minEventWindow = 250 * time.Microsecond
+
 // maxOutboxEvents bounds the event backlog. When the raiser outruns the
 // wire, add blocks until the flusher drains below the bound — the batched
 // analogue of the seed's synchronous per-event send, which throttled the
@@ -103,12 +109,20 @@ func (ob *eventOutbox) close() {
 // frame it. The previous cycle's job slice and arena are handed back as the
 // next fill buffers (double buffering), so the flusher allocates nothing in
 // steady state beyond the frames themselves.
+//
+// In burst mode the window is adaptive, NAPI-style: a drain that fills half
+// a frame or more stretches the next linger (×2, capped at maxEventWindow —
+// sustained bursts buy bigger batches per flush), while a near-empty drain
+// shrinks it (÷2, floored at minEventWindow — light load buys latency). The
+// configured Options.EventWindow is the starting point; the OPENMB_BURST=off
+// ablation keeps it fixed, the seed-faithful 2 ms behaviour.
 func (rt *Runtime) eventFlusher() {
 	defer rt.workersWG.Done()
 	ob := &rt.outbox
 	var spareJobs []*sbi.Event
 	var spareArena []byte
 	lastBatch := 0
+	window := rt.eventWindow
 	for {
 		ob.mu.Lock()
 		for len(ob.jobs) == 0 && !ob.closed {
@@ -125,9 +139,9 @@ func (rt *Runtime) eventFlusher() {
 		// worth is flowing per cycle, batching has nothing left to gain
 		// and the sleep would only throttle the pipeline below the wire's
 		// capacity (the raiser is blocked on the backlog bound meanwhile).
-		if !closed && rt.eventWindow > 0 &&
+		if !closed && window > 0 &&
 			pending < sbi.MaxEventsPerFrame && lastBatch < sbi.MaxEventsPerFrame {
-			time.Sleep(rt.eventWindow)
+			time.Sleep(window)
 		}
 		ob.mu.Lock()
 		batch, arena := ob.jobs, ob.arena
@@ -142,6 +156,18 @@ func (rt *Runtime) eventFlusher() {
 			batch[i] = nil
 		}
 		spareJobs, spareArena = batch, arena
+		if rt.burst && rt.eventWindow > 0 {
+			switch {
+			case lastBatch >= sbi.MaxEventsPerFrame/2:
+				if window *= 2; window > maxEventWindow {
+					window = maxEventWindow
+				}
+			case lastBatch <= 2:
+				if window /= 2; window < minEventWindow {
+					window = minEventWindow
+				}
+			}
+		}
 	}
 }
 

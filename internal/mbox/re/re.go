@@ -33,6 +33,11 @@ const (
 	DecoderKind = "re-decoder"
 )
 
+var (
+	_ mbox.BurstLogic = (*Encoder)(nil)
+	_ mbox.BurstLogic = (*Decoder)(nil)
+)
+
 // DefaultCacheSize is the default ring capacity (the paper uses 500 MB;
 // experiments here scale it down).
 const DefaultCacheSize = 1 << 22 // 4 MiB
@@ -180,6 +185,43 @@ func (e *Encoder) Process(ctx *mbox.Context, p *packet.Packet) {
 	out := p.Clone()
 	out.Payload = encoded
 	ctx.Emit(out)
+}
+
+// ProcessBurst implements mbox.BurstLogic: one mutex acquisition and at most
+// one config re-parse cover the whole burst, and the single-cache insert
+// list is a reused stack buffer instead of a fresh slice per packet. Emits
+// are buffered by the burst context, so they are appended in-loop under the
+// lock in packet order.
+func (e *Encoder) ProcessBurst(ctxs []mbox.Context, pkts []*packet.Packet) {
+	var single [1]*Cache
+	e.mu.Lock()
+	if e.dirty {
+		e.applyConfigLocked()
+	}
+	for i, p := range pkts {
+		ctx := &ctxs[i]
+		if len(p.Payload) == 0 || ctx.SkipShared() {
+			ctx.Emit(p)
+			continue
+		}
+		cache := e.cacheFor(p.DstIP)
+		insertInto := e.caches
+		if !e.mirror {
+			single[0] = cache
+			insertInto = single[:]
+		}
+		encoded, st := encode(p.Payload, cache, insertInto)
+		e.report.InputBytes += uint64(len(p.Payload))
+		e.report.OutputBytes += uint64(len(encoded))
+		e.report.MatchBytes += st.MatchBytes
+		e.report.Matches += st.Matches
+		ctx.TouchShared(state.Supporting)
+		ctx.TouchShared(state.Reporting)
+		out := p.Clone()
+		out.Payload = encoded
+		ctx.Emit(out)
+	}
+	e.mu.Unlock()
 }
 
 // GetPerflow implements mbox.Logic: RE has no per-flow state.
@@ -339,6 +381,39 @@ func (d *Decoder) Process(ctx *mbox.Context, p *packet.Packet) {
 	out := p.Clone()
 	out.Payload = payload
 	ctx.Emit(out)
+}
+
+// ProcessBurst implements mbox.BurstLogic: one mutex acquisition covers the
+// whole burst. Emits are buffered by the burst context, so they are appended
+// in-loop under the lock in packet order.
+func (d *Decoder) ProcessBurst(ctxs []mbox.Context, pkts []*packet.Packet) {
+	d.mu.Lock()
+	for i, p := range pkts {
+		ctx := &ctxs[i]
+		if !IsEncoded(p.Payload) {
+			ctx.Emit(p)
+			continue
+		}
+		if ctx.SkipShared() {
+			continue
+		}
+		payload, st, err := decode(p.Payload, d.cache)
+		d.report.InputBytes += uint64(len(p.Payload))
+		d.report.OutputBytes += uint64(len(payload))
+		d.report.MatchBytes += st.MatchBytes
+		d.report.Matches += st.Matches
+		d.report.UndecodableBytes += st.UndecodableBytes
+		d.report.Failures += st.Failures
+		ctx.TouchShared(state.Supporting)
+		ctx.TouchShared(state.Reporting)
+		if err != nil {
+			continue // malformed encoding: drop
+		}
+		out := p.Clone()
+		out.Payload = payload
+		ctx.Emit(out)
+	}
+	d.mu.Unlock()
 }
 
 // GetPerflow implements mbox.Logic: RE has no per-flow state.

@@ -95,6 +95,32 @@ func (r *ingressRing) tryPush(it ingressItem) bool {
 	return true
 }
 
+// tryPushBurst enqueues live items for ps in order under a single lock
+// acquisition and at most one wakeup — the burst-mode analogue of len(ps)
+// tryPush calls. It returns the number of trailing packets that did NOT fit
+// (queue full or ring closed); the caller still owns those borrows. Accepted
+// packets keep FIFO order.
+func (r *ingressRing) tryPushBurst(ps []*packet.Packet) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return len(ps)
+	}
+	wasEmpty := r.live.n+r.replay.n == 0
+	accepted := 0
+	for _, p := range ps {
+		if !r.live.push(ingressItem{p: p}) {
+			break
+		}
+		accepted++
+	}
+	r.mu.Unlock()
+	if wasEmpty && accepted > 0 {
+		r.notEmpty.Signal()
+	}
+	return len(ps) - accepted
+}
+
 // popBatch fills dst (up to its capacity) with queued items, blocking while
 // the ring is empty. It returns an empty slice only when the ring is closed
 // and drained; after close it keeps returning the backlog so the worker can

@@ -77,6 +77,13 @@ type Runtime struct {
 	// sbi.CoalesceDefault at construction.
 	coalesce    bool
 	eventWindow time.Duration
+
+	// burst selects the vectorized worker path (captured from
+	// packet.BurstDefault at construction); burstLogic is non-nil when the
+	// logic natively implements BurstLogic (otherwise the burst worker
+	// shims ProcessBurst with a per-packet Process loop).
+	burst      bool
+	burstLogic BurstLogic
 	outbox      eventOutbox
 	// eventsQueued counts events raised but not yet handed to the
 	// transport; Drain waits for it so "drained" still means every raised
@@ -88,6 +95,12 @@ type Runtime struct {
 
 	forwardMu sync.RWMutex
 	forward   func(p *packet.Packet)
+	// forwardBurst, when set, receives whole emitted bursts in one call —
+	// the direct co-located handoff (typically a peer Runtime's
+	// HandleBurst, pushing the burst into its ingress ring in a single
+	// synchronization). Consulted only on the burst path; the per-packet
+	// forward sink is the fallback.
+	forwardBurst func(ps []*packet.Packet)
 
 	// conn is the live southbound connection; tr and addr remember how it
 	// was dialed so the reconnect loop can redial. All three ride connMu.
@@ -176,6 +189,7 @@ func New(name string, logic Logic, opts Options) *Runtime {
 		ring:         newIngressRing(opts.QueueSize),
 		stop:         make(chan struct{}),
 		coalesce:     sbi.CoalesceDefault(),
+		burst:        packet.BurstDefault(),
 		eventWindow:  opts.EventWindow,
 		forward:      opts.Forward,
 		reconnect:    opts.Reconnect,
@@ -184,6 +198,9 @@ func New(name string, logic Logic, opts Options) *Runtime {
 		movedKeys:    map[touchRef]bool{},
 		sharedMoved:  map[state.Class]bool{},
 		logs:         map[string][]string{},
+	}
+	if rt.burst {
+		rt.burstLogic, _ = logic.(BurstLogic)
 	}
 	rt.outbox.init()
 	rt.workersWG.Add(1)
@@ -222,6 +239,18 @@ func (rt *Runtime) SetForward(fn func(p *packet.Packet)) {
 	rt.forwardMu.Unlock()
 }
 
+// SetForwardBurst installs a burst-capable emitted-packet sink — the direct
+// co-located handoff. On the burst path, a whole burst's emits are handed to
+// fn in one call (packet references transfer with the call; fn must not
+// retain the slice past its return). Runtimes on the per-packet ablation
+// ignore it and use the SetForward sink, so callers wire both and the
+// OPENMB_BURST switch picks the path.
+func (rt *Runtime) SetForwardBurst(fn func(ps []*packet.Packet)) {
+	rt.forwardMu.Lock()
+	rt.forwardBurst = fn
+	rt.forwardMu.Unlock()
+}
+
 func (rt *Runtime) forwardPacket(p *packet.Packet) {
 	rt.emitted.Add(1)
 	rt.forwardMu.RLock()
@@ -251,6 +280,10 @@ const ingressBatch = 64
 // ring's backlog is released undelivered.
 func (rt *Runtime) worker() {
 	defer rt.workersWG.Done()
+	if rt.burst {
+		rt.workerBurst()
+		return
+	}
 	var ctx Context
 	batch := make([]ingressItem, 0, ingressBatch)
 	for {
@@ -350,6 +383,13 @@ func (rt *Runtime) raiseIntrospection(code string, key packet.FlowKey, values ma
 	if !rt.filterAllows(code, key) {
 		return
 	}
+	rt.emitIntrospection(code, key, values)
+}
+
+// emitIntrospection builds and queues an introspection event whose filter
+// check has already passed (the per-packet path checks filterAllows; the
+// burst path checks a per-burst filter snapshot).
+func (rt *Runtime) emitIntrospection(code string, key packet.FlowKey, values map[string]string) {
 	rt.introRaised.Add(1)
 	ev := &sbi.Event{
 		Kind:   sbi.EventIntrospection,

@@ -46,6 +46,20 @@ type Endpoint interface {
 	HandlePacket(p *packet.Packet)
 }
 
+// BurstEndpoint is optionally implemented by endpoints that accept whole
+// delivery batches in one call (middlebox runtimes, switches, hosts). When
+// the burst-mode data path is on (OPENMB_BURST, captured at Network
+// creation), a latency-free fault-free link pump hands its entire popped
+// batch to HandleBurst — one endpoint lookup and one hand-off per batch
+// instead of one per packet. Each packet in the slice is borrowed under the
+// Endpoint.HandlePacket contract (the endpoint owns one reference per
+// packet); the slice itself is the pump's and must not be retained past the
+// call.
+type BurstEndpoint interface {
+	Endpoint
+	HandleBurst(ps []*packet.Packet)
+}
+
 // Fault is a link-level fault injection verdict.
 type Fault int
 
@@ -103,6 +117,12 @@ func ZeroCopyDefault() bool { return defaultZeroCopy.Load() }
 type Network struct {
 	opts Options
 
+	// burst enables batched pump delivery to BurstEndpoints, captured from
+	// packet.BurstDefault at creation (not an Options field, so burst mode
+	// defaults on for every construction path and OPENMB_BURST=off flips
+	// the whole stack to the per-packet ablation at once).
+	burst bool
+
 	mu        sync.RWMutex
 	endpoints map[string]Endpoint
 	links     map[string]map[string]*link
@@ -130,6 +150,7 @@ func NewWithOptions(opts Options) *Network {
 	}
 	return &Network{
 		opts:      opts,
+		burst:     packet.BurstDefault(),
 		endpoints: map[string]Endpoint{},
 		links:     map[string]map[string]*link{},
 	}
@@ -241,6 +262,50 @@ func (n *Network) Send(from, to string, p *packet.Packet) error {
 		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
 	}
 	return n.enqueue(l, p)
+}
+
+// SendBurst queues a whole batch on the from->to link in one ring
+// synchronization (zero-copy mode; the copying ablation's channel links fall
+// back to per-packet enqueues). Like Send it consumes the caller's
+// references: on success they travel with the packets, on error the
+// undelivered tail is released. The slice itself stays the caller's.
+func (n *Network) SendBurst(from, to string, ps []*packet.Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	n.mu.RLock()
+	l := n.linkLocked(from, to)
+	stopped := n.stopped
+	n.mu.RUnlock()
+	if stopped || l == nil {
+		for _, p := range ps {
+			p.Release()
+		}
+		if stopped {
+			return errStopped
+		}
+		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
+	}
+	if l.ring == nil {
+		for i, p := range ps {
+			if err := n.enqueue(l, p); err != nil {
+				for _, rest := range ps[i+1:] {
+					rest.Release()
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	n.inflight.Add(int64(len(ps)))
+	if rejected := l.ring.pushBatch(ps); rejected > 0 {
+		n.inflight.Add(int64(-rejected))
+		for _, p := range ps[len(ps)-rejected:] {
+			p.Release()
+		}
+		return errors.New("netsim: link closed")
+	}
+	return nil
 }
 
 // Inject delivers p to the named endpoint, modeling an external packet
@@ -400,6 +465,15 @@ func (l *link) pumpRing() {
 			closed = true
 		default:
 		}
+		// Burst fast path: a latency-free, fault-free link hands the whole
+		// popped batch to a burst-capable endpoint in one call. Latency or
+		// an installed fault hook need the per-packet process loop (sleeps
+		// and verdicts are per packet by contract).
+		if !closed && l.net.burst && l.latency == 0 && !l.hasFault() {
+			if l.deliverBurst(batch[:k]) {
+				continue
+			}
+		}
 		for i := 0; i < k; i++ {
 			p := batch[i]
 			batch[i] = nil
@@ -411,6 +485,42 @@ func (l *link) pumpRing() {
 			l.net.inflight.Add(-1)
 		}
 	}
+}
+
+func (l *link) hasFault() bool {
+	h := l.fault.Load()
+	return h != nil && *h != nil
+}
+
+// deliverBurst hands a whole batch (and its references) to the destination
+// in one endpoint lookup, reporting whether it disposed of the batch. A
+// destination that is not burst-capable returns false and the caller runs
+// the per-packet path; a missing destination releases the batch, as deliver
+// does per packet.
+func (l *link) deliverBurst(ps []*packet.Packet) bool {
+	l.net.mu.RLock()
+	ep := l.net.endpoints[l.to]
+	l.net.mu.RUnlock()
+	be, ok := ep.(BurstEndpoint)
+	if !ok {
+		if ep != nil {
+			return false
+		}
+		for i, p := range ps {
+			p.Release()
+			ps[i] = nil
+		}
+		l.net.inflight.Add(int64(-len(ps)))
+		return true
+	}
+	n := len(ps)
+	be.HandleBurst(ps)
+	for i := range ps {
+		ps[i] = nil
+	}
+	l.net.delivered.Add(uint64(n))
+	l.net.inflight.Add(int64(-n))
+	return true
 }
 
 // process applies latency and the fault hook to one dequeued packet, then

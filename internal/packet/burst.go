@@ -1,0 +1,35 @@
+package packet
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// burstDefault selects the burst-mode data path: vectorized ProcessBurst
+// through middlebox logic, batched HandleBurst delivery on netsim links, and
+// direct burst handoff between co-located runtimes. It lives in this package
+// (the one layer both mbox and netsim already depend on) so a single switch
+// gates the whole path. Default on; OPENMB_BURST=off restores the
+// seed-faithful per-packet path as the measurable ablation, following the
+// OPENMB_ZEROCOPY / OPENMB_COALESCE discipline.
+var burstDefault atomic.Bool
+
+func init() {
+	switch v := os.Getenv("OPENMB_BURST"); v {
+	case "", "1", "on", "true", "yes":
+		burstDefault.Store(true)
+	case "0", "off", "false", "no":
+		burstDefault.Store(false)
+	default:
+		// A typo'd ablation sweep must fail loudly, not silently run the
+		// wrong configuration and mislabel its numbers.
+		panic("packet: OPENMB_BURST: want on/off (or 1/0), got " + v)
+	}
+}
+
+// SetBurstDefault overrides the burst-mode default for runtimes and networks
+// constructed after the call (each captures the setting at construction).
+func SetBurstDefault(on bool) { burstDefault.Store(on) }
+
+// BurstDefault reports whether the burst-mode data path is enabled.
+func BurstDefault() bool { return burstDefault.Load() }
