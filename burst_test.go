@@ -27,6 +27,7 @@ import (
 	"openmb/internal/mbox/nat"
 	"openmb/internal/mbox/re"
 	"openmb/internal/netsim"
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/trace"
 )
@@ -452,12 +453,68 @@ func TestBurstChainBorrowDiscipline(t *testing.T) {
 	}
 }
 
+// TestChainTracerDisarmedAllocs pins the flow tracer's disarmed cost on the
+// full chain data path: after an arm/disarm cycle (the worst case — the
+// tracer machinery exists, only the atomic pointer is nil) the burst chain's
+// zero-allocation steady state must hold exactly as without a tracer.
+func TestChainTracerDisarmedAllocs(t *testing.T) {
+	if !packet.BurstDefault() {
+		t.Skip("OPENMB_BURST=off: the per-packet ablation has no burst allocation invariant")
+	}
+	rig := eval.NewChainRig(64)
+	defer rig.Close()
+	for i := 0; i < 3; i++ {
+		rig.Runtime(i).ArmTrace(obs.TraceSpec{Match: packet.MatchAll, Budget: 8})
+	}
+	if err := rig.Inject(8192); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rig.Runtime(i).DisarmTrace()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := rig.Inject(64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPacket := allocs / 64; perPacket > 0.5 {
+		t.Errorf("disarmed-tracer chain steady state: %.3f allocs/packet (%.1f per 64-packet burst), want ~0", perPacket, allocs)
+	}
+}
+
 // BenchmarkChainThroughput drives the co-located monitor→NAT→IPS chain
 // closed-loop; ns/op is ns/packet end to end. Run with OPENMB_BURST=off for
 // the per-packet ablation — the delta is the tentpole's win.
 func BenchmarkChainThroughput(b *testing.B) {
 	rig := eval.NewChainRig(0)
 	defer rig.Close()
+	if err := rig.Inject(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := rig.Inject(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkChainThroughputTracerArmed is BenchmarkChainThroughput with the
+// flow tracer armed on every hop with a predicate no chain flow satisfies —
+// the armed-but-filtered overhead: two compiled-predicate calls per hook,
+// zero captures, zero allocations. Compare against BenchmarkChainThroughput
+// for the tracer's armed cost; the disarmed cost is pinned separately by
+// BenchmarkTracerDisarmed in internal/obs.
+func BenchmarkChainThroughputTracerArmed(b *testing.B) {
+	rig := eval.NewChainRig(0)
+	defer rig.Close()
+	m, err := packet.ParseFieldMatch("nw_src=172.16.0.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rig.Runtime(i).ArmTrace(obs.TraceSpec{Match: m})
+	}
 	if err := rig.Inject(4096); err != nil {
 		b.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 // evaluation (§8) and prints them as text tables. Run with -exp all (the
 // default) or a comma-separated subset of experiment ids:
 //
-//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos chain
+//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos chain obs
 //
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
@@ -46,6 +46,8 @@ func main() {
 	zerocopy := flag.Bool("zerocopy", netsim.ZeroCopyDefault(), "zero-copy netsim data path: pooled packets over ring-buffer links (false = copying ablation)")
 	coalesce := flag.Bool("coalesce", sbi.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	burst := flag.Bool("burst", packet.BurstDefault(), "burst data path: vectorized NF chains, batched ingress, direct co-located handoff (false = the seed's per-packet ablation; default from OPENMB_BURST)")
+	traceFlow := flag.String("trace-flow", "", "arm the filtered flow tracer on every chain hop with this FieldMatch (e.g. 'nw_dst=8.8.8.8,tp_dst=8080'); the armed-overhead ablation for the chain experiment")
+	traceBudget := flag.Int("trace-budget", 0, "per-hop record budget for -trace-flow (0 = default)")
 	flag.Parse()
 
 	if err := eval.SetTransferTuning(eval.Codec(*codec), *batch); err != nil {
@@ -124,7 +126,17 @@ func main() {
 			})
 		}},
 		{"chain", func() (*eval.Table, error) {
-			return eval.ChainThroughput(eval.ChainConfig{Packets: pick(full, 1000000, 200000)})
+			return eval.ChainThroughput(eval.ChainConfig{
+				Packets:     pick(full, 1000000, 200000),
+				TraceFlow:   *traceFlow,
+				TraceBudget: *traceBudget,
+			})
+		}},
+		{"obs", func() (*eval.Table, error) {
+			return eval.ObsReport(eval.ObsConfig{
+				Moves:  pick(full, 8, 4),
+				Chunks: pick(full, 1000, 400),
+			})
 		}},
 	}
 

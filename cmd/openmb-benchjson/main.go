@@ -9,6 +9,13 @@
 // minimum is the least-disturbed sample. All runs' ns/op are retained in
 // "ns_per_op_runs" so the spread stays visible.
 //
+// Repeatable -meta key=value flags annotate the document with a top-level
+// "meta" object recording which configuration produced the rows (e.g.
+// -meta ablation=coalesce-off -meta env=OPENMB_COALESCE=off), so ablation
+// artifacts are self-describing instead of relying on the file name. The
+// "benchmarks" array is unchanged; consumers that ignore unknown top-level
+// keys keep working.
+//
 // Usage:
 //
 //	go test -run=NONE -bench=... -benchtime=1x -count=3 . | go run ./cmd/openmb-benchjson > BENCH.json
@@ -17,11 +24,54 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// metaFlags collects repeatable -meta key=value annotations, preserving
+// first-seen key order for stable output.
+type metaFlags struct {
+	keys   []string
+	values map[string]string
+}
+
+func (m *metaFlags) String() string { return "" }
+
+func (m *metaFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	if m.values == nil {
+		m.values = map[string]string{}
+	}
+	if _, seen := m.values[k]; !seen {
+		m.keys = append(m.keys, k)
+	}
+	m.values[k] = v
+	return nil
+}
+
+// MarshalJSON renders the annotations as an object in first-seen key order.
+func (m *metaFlags) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range m.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, _ := json.Marshal(k)
+		vb, _ := json.Marshal(m.values[k])
+		b.Write(kb)
+		b.WriteByte(':')
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
 
 // result is one benchmark's folded output.
 type result struct {
@@ -65,6 +115,10 @@ func parseLine(line string) (name string, iters int64, metrics map[string]float6
 }
 
 func main() {
+	var meta metaFlags
+	flag.Var(&meta, "meta", "key=value annotation recorded in a top-level \"meta\" object (repeatable)")
+	flag.Parse()
+
 	byName := map[string]*result{}
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -98,8 +152,12 @@ func main() {
 		results = append(results, byName[name])
 	}
 	out := struct {
-		Benchmarks []*result `json:"benchmarks"`
+		Meta       *metaFlags `json:"meta,omitempty"`
+		Benchmarks []*result  `json:"benchmarks"`
 	}{Benchmarks: results}
+	if len(meta.keys) > 0 {
+		out.Meta = &meta
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

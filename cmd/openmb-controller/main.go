@@ -38,6 +38,7 @@ func main() {
 	helloTimeout := flag.Duration("hello-timeout", 0, "read deadline for a new connection's hello frame (0 = default 10s)")
 	events := flag.Bool("log-events", true, "log introspection events")
 	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
+	metrics := flag.String("metrics", os.Getenv("OPENMB_METRICS"), "address to serve the Prometheus /metrics endpoint on (empty = no endpoint; default from OPENMB_METRICS)")
 	flag.Parse()
 
 	openmb.SetCoalesceDefault(*coalesce)
@@ -63,6 +64,18 @@ func main() {
 	}
 	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d, heartbeat=%v)",
 		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards(), *heartbeat)
+
+	if *metrics != "" {
+		reg := openmb.NewMetricsRegistry()
+		reg.Register(cluster)
+		addr, _, err := openmb.ServeMetrics(*metrics, reg)
+		if err != nil {
+			// A bad metrics address should kill the daemon at startup,
+			// not surface as a silent scrape gap later.
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		log.Printf("serving /metrics on %s", addr)
+	}
 
 	// Periodically report the registered middleboxes and their replicas.
 	go func() {

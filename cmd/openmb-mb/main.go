@@ -34,6 +34,7 @@ func main() {
 	reconnect := flag.Bool("reconnect", false, "redial the controller with exponential backoff when the southbound session drops")
 	reconnectMin := flag.Duration("reconnect-min", 0, "initial redial backoff (0 = default 50ms)")
 	reconnectMax := flag.Duration("reconnect-max", 0, "backoff ceiling (0 = default 2s)")
+	metrics := flag.String("metrics", os.Getenv("OPENMB_METRICS"), "address to serve the Prometheus /metrics endpoint on (empty = no endpoint; default from OPENMB_METRICS)")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("openmb-mb: -name is required")
@@ -59,6 +60,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%s (%s) connected to %s (codec %s)", *name, logic.Kind(), *controller, codec)
+
+	if *metrics != "" {
+		reg := openmb.NewMetricsRegistry()
+		reg.Register(rt)
+		addr, _, err := openmb.ServeMetrics(*metrics, reg)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		log.Printf("serving /metrics on %s", addr)
+	}
 
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)

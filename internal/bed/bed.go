@@ -14,6 +14,7 @@ import (
 	"openmb/internal/core"
 	"openmb/internal/mbox"
 	"openmb/internal/netsim"
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/sdn"
@@ -151,6 +152,20 @@ func (b *Bed) Connect(x, y string, latency time.Duration) error {
 
 // MB returns a previously added middlebox runtime.
 func (b *Bed) MB(name string) *mbox.Runtime { return b.mbs[name] }
+
+// Collect implements obs.Collector: the whole testbed's series — the
+// controller (counters, op-window histograms, per-conn wire counters),
+// every middlebox runtime, the network, and the packet pool's accounting.
+// Registering the bed into an obs.Registry makes the full stack scrapeable
+// in one call.
+func (b *Bed) Collect(e *obs.Emitter) {
+	b.Ctrl.Collect(e)
+	for _, rt := range b.mbs {
+		rt.Collect(e)
+	}
+	b.Net.Collect(e)
+	obs.PoolCollector("bed", b.Pool.Stats).Collect(e)
+}
 
 // Quiesce waits until the network has no packets in flight AND every
 // middlebox runtime has drained, stable across consecutive checks. Returns

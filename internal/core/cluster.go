@@ -6,10 +6,12 @@ import (
 	"hash/fnv"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/state"
@@ -315,6 +317,34 @@ func (cl *Cluster) SetEventFilter(mbName, codePrefix string, m packet.FieldMatch
 	return c.setEventFilterConn(mb, codePrefix, m, enable, 0)
 }
 
+// ArmFlowTrace proxies to the middlebox's replica; see
+// Controller.ArmFlowTrace.
+func (cl *Cluster) ArmFlowTrace(mbName string, m packet.FieldMatch, budget int) error {
+	c, mb, err := cl.findRetry(mbName)
+	if err != nil {
+		return err
+	}
+	return c.armFlowTraceConn(mb, m, budget, true)
+}
+
+// DisarmFlowTrace proxies to the middlebox's replica.
+func (cl *Cluster) DisarmFlowTrace(mbName string) error {
+	c, mb, err := cl.findRetry(mbName)
+	if err != nil {
+		return err
+	}
+	return c.armFlowTraceConn(mb, packet.FieldMatch{}, 0, false)
+}
+
+// FlowTraceRecords proxies to the middlebox's replica.
+func (cl *Cluster) FlowTraceRecords(mbName string) ([]string, error) {
+	c, mb, err := cl.findRetry(mbName)
+	if err != nil {
+		return nil, err
+	}
+	return c.flowTraceRecordsConn(mb)
+}
+
 // moveAttempts bounds how many times MoveInternal restarts a move whose
 // coordinating replica was declared failed mid-flight.
 const moveAttempts = 3
@@ -415,9 +445,19 @@ func (cl *Cluster) Metrics() Metrics {
 		sum.ChunksMoved += m.ChunksMoved
 		sum.BytesMoved += m.BytesMoved
 		sum.PingsSent += m.PingsSent
+		sum.PongsReceived += m.PongsReceived
 		sum.HeartbeatDeaths += m.HeartbeatDeaths
 	}
 	return sum
+}
+
+// Collect implements obs.Collector: every replica's series tagged with a
+// replica label, plus the cluster-level handoff counter.
+func (cl *Cluster) Collect(e *obs.Emitter) {
+	for i, c := range cl.replicas {
+		c.collect(e, "replica", strconv.Itoa(i))
+	}
+	e.Counter("openmb_handoffs_total", "Live replica-to-replica ownership transfers completed.", cl.handoffs.Load())
 }
 
 // Close stops the accept loop and every replica.

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/state"
@@ -186,7 +187,16 @@ type Controller struct {
 	chunksMoved     atomic.Uint64
 	bytesMoved      atomic.Uint64
 	pingsSent       atomic.Uint64
+	pongsRecv       atomic.Uint64
 	heartbeatDeaths atomic.Uint64
+
+	// Operation-window latency histograms (zero-alloc record path; see
+	// internal/obs): the whole move window (freeze -> transfer -> switch,
+	// i.e. moveConns start to last put ACK), each southbound get stream,
+	// and each put-ACK round trip.
+	histMove obs.Histogram
+	histGet  obs.Histogram
+	histPut  obs.Histogram
 }
 
 // NewController creates a controller with the given options.
@@ -500,9 +510,13 @@ type Metrics struct {
 	EventsBuffered  uint64
 	ChunksMoved     uint64
 	BytesMoved      uint64
-	// PingsSent counts liveness probes issued; HeartbeatDeaths counts
-	// connections closed for exceeding the miss threshold.
+	// PingsSent counts liveness probes issued; PongsReceived the done
+	// frames that came back marked Op=pong (pre-pong peers answer with
+	// unmarked frames, which prove life but are not counted here);
+	// HeartbeatDeaths counts connections closed for exceeding the miss
+	// threshold.
 	PingsSent       uint64
+	PongsReceived   uint64
 	HeartbeatDeaths uint64
 }
 
@@ -515,7 +529,54 @@ func (c *Controller) Metrics() Metrics {
 		ChunksMoved:     c.chunksMoved.Load(),
 		BytesMoved:      c.bytesMoved.Load(),
 		PingsSent:       c.pingsSent.Load(),
+		PongsReceived:   c.pongsRecv.Load(),
 		HeartbeatDeaths: c.heartbeatDeaths.Load(),
+	}
+}
+
+// OpLatencies returns snapshots of the controller's operation-window
+// histograms: the move window, southbound get streams, and put-ACK round
+// trips. Eval reports and tests read percentiles from these.
+func (c *Controller) OpLatencies() (move, get, put obs.HistogramSnapshot) {
+	return c.histMove.Snapshot(), c.histGet.Snapshot(), c.histPut.Snapshot()
+}
+
+// Collect implements obs.Collector: controller counters, the three
+// operation-window histograms, and per-connection wire counters.
+func (c *Controller) Collect(e *obs.Emitter) { c.collect(e) }
+
+// collect emits the controller's series with extra label pairs appended
+// (Cluster.Collect uses this to tag each replica).
+func (c *Controller) collect(e *obs.Emitter, labels ...string) {
+	m := c.Metrics()
+	e.Counter("openmb_moves_started_total", "State-move transactions started.", m.MovesStarted, labels...)
+	e.Counter("openmb_events_forwarded_total", "Reprocess events forwarded to move destinations.", m.EventsForwarded, labels...)
+	e.Counter("openmb_events_buffered_total", "Reprocess events buffered awaiting a put ACK.", m.EventsBuffered, labels...)
+	e.Counter("openmb_state_chunks_moved_total", "State chunks transferred between middleboxes.", m.ChunksMoved, labels...)
+	e.Counter("openmb_state_bytes_moved_total", "State bytes transferred between middleboxes.", m.BytesMoved, labels...)
+	e.Counter("openmb_heartbeat_pings_sent_total", "Liveness probes sent on idle connections.", m.PingsSent, labels...)
+	e.Counter("openmb_heartbeat_pongs_received_total", "Pong-marked done frames received.", m.PongsReceived, labels...)
+	e.Counter("openmb_heartbeat_deaths_total", "Connections closed for missing the heartbeat deadline.", m.HeartbeatDeaths, labels...)
+	e.Histogram("openmb_move_duration_seconds", "Move window: freeze through transfer to last put ACK.", &c.histMove, labels...)
+	e.Histogram("openmb_get_duration_seconds", "Southbound get stream duration (first request to done).", &c.histGet, labels...)
+	e.Histogram("openmb_put_ack_duration_seconds", "Put round trip: request to installation ACK.", &c.histPut, labels...)
+
+	c.mu.Lock()
+	type connRow struct {
+		name string
+		wc   sbi.Counters
+	}
+	rows := make([]connRow, 0, len(c.mbs))
+	for name, mb := range c.mbs {
+		rows = append(rows, connRow{name, mb.conn.Counters()})
+	}
+	c.mu.Unlock()
+	e.Gauge("openmb_mbs_registered", "Middlebox connections currently registered.", float64(len(rows)), labels...)
+	for _, r := range rows {
+		lbl := append(append([]string(nil), labels...), "conn", r.name, "side", "controller")
+		e.Counter("openmb_conn_sent_frames_total", "SBI frames sent on the southbound connection.", r.wc.Sent, lbl...)
+		e.Counter("openmb_conn_received_frames_total", "SBI frames received on the southbound connection.", r.wc.Received, lbl...)
+		e.Counter("openmb_conn_flushes_total", "Transport flushes on the southbound connection.", r.wc.Flushes, lbl...)
 	}
 }
 
@@ -664,9 +725,11 @@ func newMBConn(name, kind string, conn *sbi.Conn, c *Controller) *mbConn {
 // goroutine so a peer that has stopped reading (blocking our write) cannot
 // wedge the liveness clock — and past HeartbeatMisses intervals it closes
 // the connection, which unblocks any stuck ping write and drives the normal
-// disconnect cleanup in serveMB. The pong is a plain done frame (or an
-// unknown-op error from a pre-heartbeat peer — equally alive); either way
-// the read loop stamps lastRecv, so the probe needs no completion tracking.
+// disconnect cleanup in serveMB. The pong is a done frame marked Op=pong
+// (counted in pongsRecv), but the prober does not require the marker: a
+// plain done from a pre-pong middlebox, or an unknown-op error from a
+// pre-heartbeat peer, is equally alive. Either way the read loop stamps
+// lastRecv, so the probe needs no completion tracking.
 func (mb *mbConn) heartbeat(c *Controller) {
 	defer mb.pingWG.Done()
 	interval := c.opts.HeartbeatInterval
@@ -875,6 +938,13 @@ func (mb *mbConn) readLoop() error {
 			mb.eventsRecv.Add(uint64(m.EventCount()))
 			mb.eventQ <- m
 		case sbi.MsgChunk, sbi.MsgDone, sbi.MsgError:
+			if m.Op == sbi.OpPong {
+				// Pong-marked heartbeat reply. Pings are fire-and-forget
+				// (no request ID), so the pending lookup below finds
+				// nothing and skips it — exactly what a pre-pong
+				// controller did with the unmarked reply.
+				mb.controller().pongsRecv.Add(1)
+			}
 			mb.mu.Lock()
 			cl := mb.pending[m.ID]
 			mb.mu.Unlock()

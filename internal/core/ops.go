@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
@@ -108,6 +109,52 @@ func (c *Controller) statsConn(mb *mbConn, m packet.FieldMatch) (sbi.StatsReply,
 	return *reply.Stats, nil
 }
 
+// ArmFlowTrace arms the middlebox's filtered flow tracer: capture up to
+// budget per-hop records of packets matching m in either direction. The
+// middlebox compiles the predicate once at arm time (sbi.OpTraceFlow);
+// budget<=0 selects the runtime's default.
+func (c *Controller) ArmFlowTrace(mbName string, m packet.FieldMatch, budget int) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	return c.armFlowTraceConn(mb, m, budget, true)
+}
+
+// DisarmFlowTrace stops the middlebox's tracer; captured records remain
+// retrievable via FlowTraceRecords.
+func (c *Controller) DisarmFlowTrace(mbName string) error {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return err
+	}
+	return c.armFlowTraceConn(mb, packet.FieldMatch{}, 0, false)
+}
+
+func (c *Controller) armFlowTraceConn(mb *mbConn, m packet.FieldMatch, budget int, enable bool) error {
+	_, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpTraceFlow, Match: m, Count: budget, Enable: enable}, c.opts.CallTimeout)
+	return err
+}
+
+// FlowTraceRecords dumps the middlebox's newest trace session: one rendered
+// record per line, in capture order. Dumping does not disturb an armed
+// session.
+func (c *Controller) FlowTraceRecords(mbName string) ([]string, error) {
+	mb, err := c.mb(mbName)
+	if err != nil {
+		return nil, err
+	}
+	return c.flowTraceRecordsConn(mb)
+}
+
+func (c *Controller) flowTraceRecordsConn(mb *mbConn) ([]string, error) {
+	reply, err := mb.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpTraceDump}, c.opts.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Values, nil
+}
+
 // putJob is one received chunk frame to forward to a move's destination.
 type putJob struct {
 	op    sbi.Op
@@ -190,6 +237,7 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 		return ErrReplicaFailed
 	}
 	c.movesStarted.Add(1)
+	moveStart := time.Now()
 	t := newTxn(c, src, dst)
 
 	errCh := make(chan error, 1)
@@ -215,9 +263,13 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 			Chunk: j.frame.Chunk, Chunks: j.frame.Chunks,
 			Compressed: j.frame.Compressed,
 		}
+		putStart := time.Now()
 		if _, perr := dst.call(put, c.opts.CallTimeout); perr != nil {
 			fail(perr)
 		}
+		// Put-ACK round trip, observed on success and failure alike (a
+		// timed-out put is the tail the histogram exists to expose).
+		c.histPut.Observe(time.Since(putStart))
 		for _, key := range j.keys {
 			t.ackPut(key)
 		}
@@ -273,6 +325,7 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 			Type: sbi.MsgRequest, Op: getOp, Match: m,
 			Compressed: c.opts.Compress, Batch: c.opts.BatchSize,
 		}
+		getStart := time.Now()
 		_, err := src.stream(t, get, c.opts.CallTimeout, func(chunk *sbi.Message) error {
 			if t.aborted.Load() {
 				return ErrReplicaFailed
@@ -297,6 +350,8 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 			enqueue(j)
 			return nil
 		})
+		// Get-stream duration: first request frame to the stream's done.
+		c.histGet.Observe(time.Since(getStart))
 		if err != nil {
 			fail(err)
 		}
@@ -311,6 +366,10 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 		queue.close()
 	}
 	putWG.Wait()
+	// The move window closes here: every chunk is exported and its put
+	// ACKed, so the destination owns the state (the quiet-period delete at
+	// the source is background completion, not part of the window).
+	c.histMove.Observe(time.Since(moveStart))
 
 	// A failure declared after the last put was issued but before this
 	// point must still abort: once finishAfterQuiet is scheduled the move

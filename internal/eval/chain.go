@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"openmb/internal/mbox/ips"
 	"openmb/internal/mbox/monitor"
 	"openmb/internal/mbox/nat"
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 )
 
@@ -202,6 +204,14 @@ type ChainConfig struct {
 	Packets int // packets per mode (default 200000)
 	Flows   int // distinct flows (default 256)
 	Rate    int // paced injection rate in pps; 0 = closed-loop max rate
+
+	// TraceFlow, when non-empty, arms the filtered flow tracer on every
+	// hop of the chain before injection — the armed-tracer overhead
+	// ablation. The value is a FieldMatch in the northbound syntax
+	// (e.g. "nw_dst=8.8.8.8,tp_dst=8080"); per-hop record counts land in
+	// the table notes. TraceBudget bounds records per hop (0 = default).
+	TraceFlow   string
+	TraceBudget int
 }
 
 func (c *ChainConfig) setDefaults() {
@@ -220,6 +230,14 @@ func (c *ChainConfig) setDefaults() {
 // co-located handoff buy over the seed path.
 func ChainThroughput(cfg ChainConfig) (*Table, error) {
 	cfg.setDefaults()
+	var spec *obs.TraceSpec
+	if cfg.TraceFlow != "" {
+		m, err := packet.ParseFieldMatch(cfg.TraceFlow)
+		if err != nil {
+			return nil, fmt.Errorf("eval: chain trace-flow: %w", err)
+		}
+		spec = &obs.TraceSpec{Match: m, Budget: cfg.TraceBudget}
+	}
 	tbl := &Table{
 		ID:      "chain",
 		Title:   "NF chain throughput: monitor→NAT→IPS, direct co-located handoff",
@@ -229,14 +247,35 @@ func ChainThroughput(cfg ChainConfig) (*Table, error) {
 			fmt.Sprintf("closed-loop injection, %d flows, rate=%d", cfg.Flows, cfg.Rate),
 		},
 	}
+	if spec != nil {
+		tbl.Notes = append(tbl.Notes,
+			fmt.Sprintf("flow tracer ARMED on every hop: match %q, budget %d/hop — armed-overhead ablation", cfg.TraceFlow, spec.Budget))
+	}
 	prev := packet.BurstDefault()
 	defer packet.SetBurstDefault(prev)
 	for _, on := range []bool{true, false} {
 		packet.SetBurstDefault(on)
 		rig := NewChainRig(cfg.Flows)
+		if spec != nil {
+			for _, rt := range rig.rts {
+				rt.ArmTrace(*spec)
+			}
+		}
 		startT := time.Now()
 		err := rig.InjectPaced(cfg.Packets, cfg.Rate)
 		elapsed := time.Since(startT)
+		if spec != nil {
+			mode := "on"
+			if !on {
+				mode = "off"
+			}
+			counts := make([]string, 0, len(rig.rts))
+			for i, rt := range rig.rts {
+				counts = append(counts, fmt.Sprintf("hop%d=%d", i, len(rt.TraceRecords())))
+			}
+			tbl.Notes = append(tbl.Notes,
+				fmt.Sprintf("burst=%s trace records captured: %s", mode, strings.Join(counts, " ")))
+		}
 		rig.Close()
 		if err != nil {
 			return nil, err

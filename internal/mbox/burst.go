@@ -3,6 +3,7 @@ package mbox
 import (
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 )
 
@@ -44,12 +45,43 @@ func (rt *Runtime) HandleBurst(ps []*packet.Packet) {
 		return
 	}
 	rt.pending.Add(int64(n))
+	if a := rt.tracer.Enabled(); a != nil {
+		rt.handleBurstTraced(a, ps)
+		return
+	}
 	if rejected := rt.ring.tryPushBurst(ps); rejected > 0 {
 		rt.droppedPackets.Add(uint64(rejected))
 		rt.pending.Add(int64(-rejected))
 		for _, p := range ps[n-rejected:] {
 			p.Release()
 		}
+	}
+}
+
+// handleBurstTraced is HandleBurst with the tracer armed: flow keys are
+// captured before the push (accepted packets may be processed and recycled
+// by the worker concurrently), then recorded with the ring's accept/drop
+// outcome per packet.
+func (rt *Runtime) handleBurstTraced(a *obs.ArmedTrace, ps []*packet.Packet) {
+	n := len(ps)
+	keys := make([]packet.FlowKey, n)
+	for i, p := range ps {
+		keys[i] = p.Flow()
+	}
+	rejected := rt.ring.tryPushBurst(ps)
+	if rejected > 0 {
+		rt.droppedPackets.Add(uint64(rejected))
+		rt.pending.Add(int64(-rejected))
+	}
+	for i, key := range keys {
+		note := ""
+		if i >= n-rejected {
+			note = "drop:ring-full"
+		}
+		a.Record(rt.name, obs.HopIngress, key, note)
+	}
+	for _, p := range ps[n-rejected:] {
+		p.Release()
 	}
 }
 
@@ -116,6 +148,12 @@ func (rt *Runtime) processBurst(ctxs []Context, pkts []*packet.Packet, bs *burst
 	default:
 	}
 	bs.reset()
+	tr := rt.tracer.Enabled()
+	if tr != nil {
+		for _, p := range pkts {
+			tr.Record(rt.name, obs.HopDispatch, p.Flow(), "burst")
+		}
+	}
 	duringOp := rt.activeOps.Load() > 0
 	start := time.Now()
 	for i := range ctxs {
@@ -126,6 +164,11 @@ func (rt *Runtime) processBurst(ctxs []Context, pkts []*packet.Packet, bs *burst
 	} else {
 		for i := range ctxs {
 			rt.logic.Process(&ctxs[i], pkts[i])
+		}
+	}
+	if tr != nil {
+		for i := range ctxs {
+			tr.RecordEmits(rt.name, pkts[i].Flow(), ctxs[i].emitted)
 		}
 	}
 	elapsed := time.Since(start)
@@ -158,6 +201,12 @@ func (rt *Runtime) flushEmits(bs *burstState) {
 		return
 	}
 	rt.emitted.Add(uint64(len(bs.emits)))
+	if a := rt.tracer.Enabled(); a != nil {
+		// Before the hand-off: reference ownership transfers with it.
+		for _, p := range bs.emits {
+			a.Record(rt.name, obs.HopEgress, p.Flow(), "")
+		}
+	}
 	rt.forwardMu.RLock()
 	fb, fn := rt.forwardBurst, rt.forward
 	rt.forwardMu.RUnlock()

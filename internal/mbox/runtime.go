@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/state"
@@ -84,7 +85,7 @@ type Runtime struct {
 	// shims ProcessBurst with a per-packet Process loop).
 	burst      bool
 	burstLogic BurstLogic
-	outbox      eventOutbox
+	outbox     eventOutbox
 	// eventsQueued counts events raised but not yet handed to the
 	// transport; Drain waits for it so "drained" still means every raised
 	// event is on the wire.
@@ -128,6 +129,11 @@ type Runtime struct {
 	logs  map[string][]string
 
 	eventSeq atomic.Uint64
+
+	// tracer is the filtered flow tracer (armed via ArmTrace or the
+	// southbound sbi.OpTraceFlow). Disarmed, every hook is one atomic
+	// pointer load; the zero value starts disarmed.
+	tracer obs.FlowTracer
 
 	// Metrics.
 	processed       atomic.Uint64
@@ -225,6 +231,21 @@ func (rt *Runtime) Logic() Logic { return rt.logic }
 // borrow.
 func (rt *Runtime) HandlePacket(p *packet.Packet) {
 	rt.pending.Add(1)
+	if a := rt.tracer.Enabled(); a != nil {
+		// Armed path: capture the flow before the push — once the ring
+		// owns the packet the worker may process and recycle it
+		// concurrently, so reading headers after a successful push races.
+		key := p.Flow()
+		if !rt.ring.tryPush(ingressItem{p: p}) {
+			rt.droppedPackets.Add(1)
+			rt.pending.Add(-1)
+			a.Record(rt.name, obs.HopIngress, key, "drop:ring-full")
+			p.Release()
+			return
+		}
+		a.Record(rt.name, obs.HopIngress, key, "")
+		return
+	}
 	if !rt.ring.tryPush(ingressItem{p: p}) {
 		rt.droppedPackets.Add(1)
 		rt.pending.Add(-1)
@@ -253,6 +274,12 @@ func (rt *Runtime) SetForwardBurst(fn func(ps []*packet.Packet)) {
 
 func (rt *Runtime) forwardPacket(p *packet.Packet) {
 	rt.emitted.Add(1)
+	if a := rt.tracer.Enabled(); a != nil {
+		// Post-rewrite flow: a NAT'd packet traces here under its
+		// translated key. Captured before the sink call — the sink owns
+		// the reference once handed over.
+		a.Record(rt.name, obs.HopEgress, p.Flow(), "")
+	}
 	rt.forwardMu.RLock()
 	fn := rt.forward
 	rt.forwardMu.RUnlock()
@@ -311,9 +338,20 @@ func (rt *Runtime) worker() {
 func (rt *Runtime) process(ctx *Context, p *packet.Packet, replay, replayShared bool) {
 	defer rt.pending.Add(-1)
 	defer p.Release()
+	tr := rt.tracer.Enabled()
+	if tr != nil {
+		note := ""
+		if replay {
+			note = "replay"
+		}
+		tr.Record(rt.name, obs.HopDispatch, p.Flow(), note)
+	}
 	start := time.Now()
 	*ctx = Context{rt: rt, pkt: p, Replay: replay, replayShared: replayShared}
 	rt.logic.Process(ctx, p)
+	if tr != nil {
+		tr.RecordEmits(rt.name, p.Flow(), ctx.emitted)
+	}
 	elapsed := time.Since(start)
 	if rt.activeOps.Load() > 0 {
 		rt.latDuringOpNS.Add(int64(elapsed))
@@ -581,6 +619,42 @@ func (rt *Runtime) Metrics() Metrics {
 		m.LatencyDuringOp = time.Duration(rt.latDuringOpNS.Load() / n)
 	}
 	return m
+}
+
+// ArmTrace arms the runtime's filtered flow tracer: capture up to
+// spec.Budget per-hop records (ingress ring, dispatch, app verdict, egress)
+// of packets matching spec.Match in either direction. The predicate is
+// compiled once here; re-arming replaces the previous session.
+func (rt *Runtime) ArmTrace(spec obs.TraceSpec) { rt.tracer.Arm(spec) }
+
+// DisarmTrace stops capturing; records stay retrievable via TraceRecords.
+func (rt *Runtime) DisarmTrace() { rt.tracer.Disarm() }
+
+// TraceArmed reports whether the flow tracer is currently capturing.
+func (rt *Runtime) TraceArmed() bool { return rt.tracer.IsArmed() }
+
+// TraceRecords returns the newest trace session's captured records.
+func (rt *Runtime) TraceRecords() []obs.TraceRecord { return rt.tracer.Records() }
+
+// Collect implements obs.Collector: the runtime's counters, its southbound
+// wire counters, and ingress-queue depth, labeled by instance and kind.
+func (rt *Runtime) Collect(e *obs.Emitter) {
+	m := rt.Metrics()
+	mb, kind := rt.name, rt.logic.Kind()
+	e.Counter("openmb_mb_packets_processed_total", "Live packets run through the middlebox logic.", m.Processed, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_packets_replayed_total", "Reprocess-event packets replayed through the logic.", m.Replayed, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_ring_dropped_packets_total", "Live packets shed by a full or closed ingress ring.", m.DroppedPackets, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_ring_dropped_replays_total", "Replay packets rejected by the ingress ring.", m.DroppedReplays, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_events_raised_total", "Reprocess events raised toward the controller.", m.EventsRaised, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_intro_events_raised_total", "Introspection events raised toward the controller.", m.IntroRaised, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_packets_emitted_total", "Packets the logic emitted toward the forward sink.", m.Emitted, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_suppressed_emits_total", "Emits suppressed during state operations.", m.SuppressedEmits, "mb", mb, "kind", kind)
+	e.Counter("openmb_mb_reconnects_total", "Successful southbound session resumes.", m.Reconnects, "mb", mb, "kind", kind)
+	e.Gauge("openmb_mb_pending_packets", "Packets queued or in process on the ingress path.", float64(rt.pending.Load()), "mb", mb, "kind", kind)
+	wc := rt.WireCounters()
+	e.Counter("openmb_conn_sent_frames_total", "SBI frames sent on the southbound connection.", wc.Sent, "conn", mb, "side", "mb")
+	e.Counter("openmb_conn_received_frames_total", "SBI frames received on the southbound connection.", wc.Received, "conn", mb, "side", "mb")
+	e.Counter("openmb_conn_flushes_total", "Transport flushes on the southbound connection.", wc.Flushes, "conn", mb, "side", "mb")
 }
 
 // Close stops the packet worker and closes the controller connection.

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/state"
@@ -251,10 +252,37 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpPing:
-		// Liveness probe (docs/SBI.md): the done reply is the pong. It
-		// rides the reply-coalescing path like any other response — the
-		// serve loop flushes before blocking, so a pong never lingers.
+		// Liveness probe (docs/SBI.md): the done reply carries Op=pong so
+		// the probe is answered explicitly on the wire. Pre-pong peers
+		// interoperate both ways — the prober's liveness clock advances on
+		// any received frame, so a plain done (old mbox) or an ignored op
+		// marker (old controller, which skips done frames with no pending
+		// call) are both still a valid pong. The reply rides the
+		// reply-coalescing path like any other response — the serve loop
+		// flushes before blocking, so a pong never lingers.
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Op: sbi.OpPong})
+
+	case sbi.OpTraceFlow:
+		// Arm (Enable) or disarm the filtered flow tracer. The match
+		// predicate is compiled once here, at arm time; Count is the
+		// record budget (0 = default). Near-zero data-path cost while
+		// disarmed is the contract docs/ARCHITECTURE.md pins.
+		if m.Enable {
+			rt.ArmTrace(obs.TraceSpec{Match: m.Match, Budget: m.Count})
+		} else {
+			rt.DisarmTrace()
+		}
 		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+
+	case sbi.OpTraceDump:
+		// Dump the newest trace session's records, one rendered line per
+		// record in capture order, without disturbing an armed session.
+		recs := rt.TraceRecords()
+		vals := make([]string, len(recs))
+		for i, r := range recs {
+			vals[i] = r.String()
+		}
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: len(recs), Values: vals})
 
 	case sbi.OpEndTransaction:
 		if m.Enable {

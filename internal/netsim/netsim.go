@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 )
 
@@ -379,6 +380,14 @@ func (n *Network) Delivered() uint64 { return n.delivered.Load() }
 
 // Dropped returns the count of fault-injected drops.
 func (n *Network) Dropped() uint64 { return n.dropped.Load() }
+
+// Collect implements obs.Collector: link delivery/drop totals and the
+// in-flight gauge.
+func (n *Network) Collect(e *obs.Emitter) {
+	e.Counter("openmb_net_delivered_total", "Link deliveries since creation.", n.delivered.Load())
+	e.Counter("openmb_net_dropped_total", "Fault-injected link drops.", n.dropped.Load())
+	e.Gauge("openmb_net_inflight", "Packets queued on links or being delivered.", float64(n.inflight.Load()))
+}
 
 // Stop closes all links. Sends after Stop fail; packets still queued are
 // released undelivered.

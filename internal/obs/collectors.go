@@ -1,0 +1,18 @@
+package obs
+
+import "openmb/internal/packet"
+
+// PoolCollector exports a packet pool's accounting under the given pool
+// label: get/new/release totals plus outstanding-borrow and free-list
+// gauges. The stats closure decouples obs from the pool's owner (packet
+// cannot import obs without a cycle).
+func PoolCollector(pool string, stats func() packet.PoolStats) Collector {
+	return CollectorFunc(func(e *Emitter) {
+		s := stats()
+		e.Counter("openmb_pool_gets_total", "Packet pool Get/Clone calls.", s.Gets, "pool", pool)
+		e.Counter("openmb_pool_news_total", "Pool gets that allocated a fresh packet (steady state: flat).", s.News, "pool", pool)
+		e.Counter("openmb_pool_releases_total", "Final releases that recycled a packet.", s.Releases, "pool", pool)
+		e.Gauge("openmb_pool_outstanding", "Currently borrowed packets.", float64(s.Outstanding), "pool", pool)
+		e.Gauge("openmb_pool_free", "Current free-list length.", float64(s.FreeLen), "pool", pool)
+	})
+}

@@ -1,0 +1,35 @@
+// Package obshttp puts a stdlib net/http front end on an obs.Registry.
+// It is the only observability package that imports net/http: core, mbox,
+// and sbi register collectors through internal/obs and never see a server.
+package obshttp
+
+import (
+	"net"
+	"net/http"
+
+	"openmb/internal/obs"
+)
+
+// Handler serves Prometheus text exposition rendered from reg.
+func Handler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// Serve listens on addr and serves GET /metrics from reg in a background
+// goroutine. It returns the bound address (useful with ":0") and a close
+// function. Listen errors are returned synchronously so a daemon with a
+// bad -metrics flag fails at startup, not on first scrape.
+func Serve(addr string, reg *obs.Registry) (bound string, closeFn func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -57,6 +57,57 @@ func (m FieldMatch) MatchEither(k FlowKey) bool {
 	return m.Match(k) || m.Match(k.Reverse())
 }
 
+// Compile lowers the match into a single predicate closure, specialized to
+// the fields that are actually set, so a hot path can evaluate it without
+// re-checking prefix validity or Has* flags per packet. The returned
+// predicate has Match semantics (forward direction only); callers that need
+// either-direction coverage compose it with FlowKey.Reverse. The wildcard
+// match compiles to a constant-true closure with no captures.
+//
+// This is the skbtrace discipline the flow tracer relies on: the filter is
+// compiled exactly once, at arm time, never on the packet path.
+func (m FieldMatch) Compile() func(FlowKey) bool {
+	if m.IsAll() {
+		return func(FlowKey) bool { return true }
+	}
+	type check struct {
+		hasSrc, hasDst bool
+		srcPfx, dstPfx netip.Prefix
+		proto          uint8
+		srcPort        uint16
+		dstPort        uint16
+		hasSrcPort     bool
+		hasDstPort     bool
+	}
+	c := check{
+		hasSrc: m.SrcPrefix.IsValid(), srcPfx: m.SrcPrefix,
+		hasDst: m.DstPrefix.IsValid(), dstPfx: m.DstPrefix,
+		proto:      m.Proto,
+		srcPort:    m.SrcPort,
+		dstPort:    m.DstPort,
+		hasSrcPort: m.HasSrcPort,
+		hasDstPort: m.HasDstPort,
+	}
+	return func(k FlowKey) bool {
+		if c.proto != 0 && c.proto != k.Proto {
+			return false
+		}
+		if c.hasSrcPort && c.srcPort != k.SrcPort {
+			return false
+		}
+		if c.hasDstPort && c.dstPort != k.DstPort {
+			return false
+		}
+		if c.hasSrc && !c.srcPfx.Contains(k.SrcIP) {
+			return false
+		}
+		if c.hasDst && !c.dstPfx.Contains(k.DstIP) {
+			return false
+		}
+		return true
+	}
+}
+
 // IsAll reports whether the match is the full wildcard.
 func (m FieldMatch) IsAll() bool {
 	return !m.SrcPrefix.IsValid() && !m.DstPrefix.IsValid() && m.Proto == 0 && !m.HasSrcPort && !m.HasDstPort

@@ -290,6 +290,16 @@ type Counters struct {
 // Counters returns a snapshot of the connection's frame and flush counters.
 // It never takes the connection mutexes, so it is safe to call while the
 // read loop is parked inside Receive.
+//
+// Snapshot semantics — the /metrics contract: each field is read with one
+// atomic load of a counter that only ever increases, so every field is
+// individually monotonic across snapshots and a scraped rate() can never go
+// negative. The snapshot is NOT atomic across fields: a scrape concurrent
+// with a send may observe the new Sent with the old Flushes (or vice
+// versa), so cross-field derivations like frames/flush can be transiently
+// off by one frame. That tearing is bounded and self-correcting; making the
+// snapshot fully consistent would put a lock on the send path, which is
+// exactly what this accessor exists to avoid.
 func (c *Conn) Counters() Counters {
 	return Counters{
 		Sent:     c.sent.Load(),

@@ -70,17 +70,32 @@ const (
 
 	// OpPing is the controller's liveness probe: a MsgRequest sent when a
 	// connection has been quiet for a heartbeat interval. The middlebox
-	// answers with a plain MsgDone echoing the request ID (the pong —
-	// OpPong names the concept in docs/SBI.md, but no request ever carries
-	// it: the done frame IS the pong). Peers that predate heartbeats reply
-	// MsgError for the unknown op, which also proves liveness; either way
-	// the reply stamps the conn's last-received clock, so the probe never
-	// needs its own completion tracking.
+	// answers with a MsgDone echoing the request ID and carrying Op=pong
+	// (see OpPong). Peers that predate heartbeats reply MsgError for the
+	// unknown op, which also proves liveness; either way the reply stamps
+	// the conn's last-received clock, so the probe never needs its own
+	// completion tracking.
 	OpPing Op = "ping"
 
-	// OpPong is reserved for symmetry with OpPing; see OpPing. Defined so
-	// the wire spec can name it, never sent as a request op today.
+	// OpPong marks a MsgDone frame as the explicit answer to an OpPing.
+	// It appears only on done frames, never as a request op. The prober
+	// counts pong-marked frames (Metrics.PongsReceived) but does not
+	// require them: any received frame proves life, so a plain done from a
+	// pre-pong middlebox still satisfies the probe.
 	OpPong Op = "pong"
+
+	// OpTraceFlow arms (Enable=true) or disarms the middlebox's filtered
+	// flow tracer: capture up to Count per-hop records (ingress ring,
+	// burst dispatch, app verdict, egress) of packets whose flow satisfies
+	// Match in either direction. The match is compiled into a predicate
+	// closure once, at arm time; the disarmed data-path cost is a single
+	// atomic pointer load per hook. Count<=0 selects the default budget.
+	OpTraceFlow Op = "traceFlow"
+
+	// OpTraceDump retrieves the newest trace session's records without
+	// disturbing an armed session. The MsgDone reply carries Count records
+	// as rendered lines in Values, in capture order.
+	OpTraceDump Op = "traceDump"
 )
 
 // MsgType discriminates wire messages.
@@ -216,7 +231,7 @@ type Message struct {
 	Values []string          `json:"values,omitempty"`
 	Match  packet.FieldMatch `json:"match,omitempty"`
 	Blob   []byte            `json:"blob,omitempty"`
-	// Enable applies to OpSetEventFilter.
+	// Enable applies to OpSetEventFilter and OpTraceFlow (arm/disarm).
 	Enable bool `json:"enable,omitempty"`
 	// TTLNanos bounds an event filter's lifetime (§4.2.2: "receive all
 	// events only for a limited period of time"); 0 means no expiry.
@@ -239,7 +254,8 @@ type Message struct {
 	// may not both be set.
 	Chunks []state.Chunk `json:"chunks,omitempty"`
 
-	// Done payload.
+	// Done payload. Count also rides OpTraceFlow requests as the record
+	// budget (<=0 selects the default).
 	Count   int           `json:"count,omitempty"`
 	Entries []state.Entry `json:"entries,omitempty"`
 	Stats   *StatsReply   `json:"stats,omitempty"`

@@ -37,6 +37,8 @@ import (
 	"openmb/internal/mbox/nat"
 	"openmb/internal/mbox/re"
 	"openmb/internal/netsim"
+	"openmb/internal/obs"
+	"openmb/internal/obs/obshttp"
 	"openmb/internal/packet"
 	"openmb/internal/sbi"
 	"openmb/internal/sdn"
@@ -266,6 +268,37 @@ type Testbed = bed.Bed
 
 // NewTestbed creates an empty testbed.
 func NewTestbed(opts ControllerOptions) (*Testbed, error) { return bed.New(opts) }
+
+// Observability plane (docs/ARCHITECTURE.md "Observability"): components
+// register collectors into a MetricsRegistry; internal/obs/obshttp (or the
+// daemons' -metrics flag) serves the registry as a Prometheus text-format
+// /metrics endpoint. Controller, Cluster, Runtime, Network, and Testbed all
+// implement MetricsCollector.
+type (
+	// MetricsRegistry renders registered collectors as Prometheus text.
+	MetricsRegistry = obs.Registry
+	// MetricsCollector contributes series to a scrape.
+	MetricsCollector = obs.Collector
+	// MetricsEmitter receives counter/gauge/histogram samples.
+	MetricsEmitter = obs.Emitter
+	// TraceSpec arms a middlebox flow tracer: a FieldMatch predicate
+	// (compiled once at arm time) plus a record budget.
+	TraceSpec = obs.TraceSpec
+	// TraceRecord is one per-hop observation of a matched packet.
+	TraceRecord = obs.TraceRecord
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsCollectorFunc adapts a function to MetricsCollector.
+func MetricsCollectorFunc(f func(e *MetricsEmitter)) MetricsCollector { return obs.CollectorFunc(f) }
+
+// ServeMetrics listens on addr and serves GET /metrics rendered from reg in
+// a background goroutine, returning the bound address and a close function.
+func ServeMetrics(addr string, reg *MetricsRegistry) (string, func(), error) {
+	return obshttp.Serve(addr, reg)
+}
 
 // Trace is a time-ordered synthetic packet trace.
 type Trace = trace.Trace
