@@ -173,6 +173,27 @@ func BenchmarkClusterRebalanceUnderLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowdElastic runs the Stratos-style flash-crowd scenario: a
+// heavy-tailed workload ramps ~7x while the elasticity loop clones the NF
+// out to meet the peak and merges back down in the cool phase, with the
+// loss-freedom and per-flow conservation audits on every iteration. Custom
+// metrics count the loop's actions and the ring sheds across both rows —
+// the loop-on row asserts zero sheds internally, so every shed counted here
+// comes from the unmanaged ablation row, where shedding is the point.
+// OPENMB_ELASTIC=off benches only that ablation.
+func BenchmarkFlashCrowdElastic(b *testing.B) {
+	eval.TakeElasticStats()
+	cfg := eval.FlashCrowdConfig{}
+	if !ElasticDefault() {
+		cfg.Rows = []bool{false}
+	}
+	runExp(b, func() (*eval.Table, error) { return eval.FlashCrowd(cfg) })
+	scaleOuts, scaleIns, drops := eval.TakeElasticStats()
+	b.ReportMetric(float64(scaleOuts)/float64(b.N), "scaleouts/op")
+	b.ReportMetric(float64(scaleIns)/float64(b.N), "scaleins/op")
+	b.ReportMetric(float64(drops)/float64(b.N), "ringdrops/op")
+}
+
 // BenchmarkSnapshotComparison regenerates the §8.1.2 snapshot experiment.
 func BenchmarkSnapshotComparison(b *testing.B) {
 	runExp(b, func() (*eval.Table, error) { return eval.SnapshotComparison(50, 60) })

@@ -2,7 +2,7 @@
 // evaluation (§8) and prints them as text tables. Run with -exp all (the
 // default) or a comma-separated subset of experiment ids:
 //
-//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos chain obs
+//	f7 f8 t2 t3 f9ab f9c f9d f10a f10b snap sm corr perf comp scan chaos chain obs elastic
 //
 // -scale full uses parameters close to the paper's sweeps; the default
 // "quick" scale finishes in well under a minute.
@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"openmb/internal/elastic"
 	"openmb/internal/eval"
 	"openmb/internal/netsim"
 	"openmb/internal/packet"
@@ -137,6 +138,24 @@ func main() {
 				Moves:  pick(full, 8, 4),
 				Chunks: pick(full, 1000, 400),
 			})
+		}},
+		{"elastic", func() (*eval.Table, error) {
+			cfg := eval.FlashCrowdConfig{}
+			if full {
+				cfg = eval.FlashCrowdConfig{
+					Flows:    128,
+					Peak:     3 * time.Second,
+					PeakRate: 2400,
+					Cool:     2 * time.Second,
+				}
+			}
+			// The elasticity loop's own default switch: OPENMB_ELASTIC=off
+			// runs only the frozen-fleet ablation row, so the CI sweep can
+			// compare both regimes without a dedicated flag.
+			if !elastic.Default() {
+				cfg.Rows = []bool{false}
+			}
+			return eval.FlashCrowd(cfg)
 		}},
 	}
 

@@ -39,6 +39,11 @@ func main() {
 	events := flag.Bool("log-events", true, "log introspection events")
 	coalesce := flag.Bool("coalesce", openmb.CoalesceDefault(), "coalesced SBI wire path: flush-on-idle, deferred stream flushes, batched events (false = the seed's flush-per-frame ablation; default from OPENMB_COALESCE)")
 	metrics := flag.String("metrics", os.Getenv("OPENMB_METRICS"), "address to serve the Prometheus /metrics endpoint on (empty = no endpoint; default from OPENMB_METRICS)")
+	elasticOn := flag.Bool("elastic", openmb.ElasticDefault(), "arm the elasticity loop: sample control-plane load and migrate hot middleboxes to cool replicas (default from OPENMB_ELASTIC)")
+	elasticInterval := flag.Duration("elastic-interval", 0, "elasticity sampling period (0 = default 50ms)")
+	elasticCooldown := flag.Duration("elastic-cooldown", 0, "quiet window after each elasticity action (0 = default 500ms)")
+	elasticMigrateRatio := flag.Float64("elastic-migrate-ratio", 0, "multiple of peer-mean control load a replica must carry before a migration fires (0 = default 4, negative disables migration)")
+	elasticMigrateMin := flag.Float64("elastic-migrate-min", 0, "minimum absolute per-interval control load before a migration fires (0 = default 256)")
 	flag.Parse()
 
 	openmb.SetCoalesceDefault(*coalesce)
@@ -65,9 +70,32 @@ func main() {
 	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d, heartbeat=%v)",
 		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards(), *heartbeat)
 
+	// Elasticity loop. The daemon hosts no co-located runtimes, so the
+	// cluster source sees only connection-level load: the loop runs in
+	// migrate-only mode (nil driver), handing hot middleboxes to cool
+	// replicas. Scale decisions need an embedding program that registers
+	// runtimes and a GroupDriver (package openmb, internal/eval's
+	// flash-crowd bed).
+	var loop *openmb.ElasticLoop
+	if *elasticOn {
+		src := openmb.NewElasticClusterSource(cluster)
+		act := openmb.NewElasticClusterActuator(cluster, src, nil)
+		loop = openmb.NewElasticLoop(openmb.ElasticConfig{
+			Interval:     *elasticInterval,
+			Cooldown:     *elasticCooldown,
+			MigrateRatio: *elasticMigrateRatio,
+			MigrateMin:   *elasticMigrateMin,
+		}, src, act)
+		loop.Start()
+		log.Printf("elasticity loop armed (migrate-only; interval=%v cooldown=%v)", *elasticInterval, *elasticCooldown)
+	}
+
 	if *metrics != "" {
 		reg := openmb.NewMetricsRegistry()
 		reg.Register(cluster)
+		if loop != nil {
+			reg.Register(loop)
+		}
 		addr, _, err := openmb.ServeMetrics(*metrics, reg)
 		if err != nil {
 			// A bad metrics address should kill the daemon at startup,
@@ -114,6 +142,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("shutting down")
+	if loop != nil {
+		loop.Close()
+	}
 	cluster.Close()
 }
 

@@ -431,6 +431,23 @@ func (cl *Cluster) WaitTxns(timeout time.Duration) bool {
 	return true
 }
 
+// LiveTxns reports the number of in-flight transactions cluster-wide; zero
+// after WaitTxns returns true. Recovery and elasticity tests use it to prove
+// that aborted or retried operations leak nothing in the shared registry.
+func (cl *Cluster) LiveTxns() int { return cl.registry.Live() }
+
+// ConnCounters merges every replica's per-connection wire counters; see
+// Controller.ConnCounters for the per-entry coherence contract.
+func (cl *Cluster) ConnCounters() map[string]sbi.Counters {
+	out := map[string]sbi.Counters{}
+	for _, c := range cl.replicas {
+		for name, wc := range c.ConnCounters() {
+			out[name] = wc
+		}
+	}
+	return out
+}
+
 // Handoffs reports how many live ownership transfers have completed.
 func (cl *Cluster) Handoffs() uint64 { return cl.handoffs.Load() }
 

@@ -534,6 +534,22 @@ func (c *Controller) Metrics() Metrics {
 	}
 }
 
+// ConnCounters returns each registered middlebox connection's wire counters
+// (frames sent/received, flushes), keyed by middlebox name. Each entry is a
+// per-connection atomic snapshot; entries are taken one after another, so a
+// consumer must not correlate counters ACROSS connections from one call —
+// the elastic placement loop scores each connection against its own
+// previous sample, which is why per-entry coherence suffices.
+func (c *Controller) ConnCounters() map[string]sbi.Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]sbi.Counters, len(c.mbs))
+	for name, mb := range c.mbs {
+		out[name] = mb.conn.Counters()
+	}
+	return out
+}
+
 // OpLatencies returns snapshots of the controller's operation-window
 // histograms: the move window, southbound get streams, and put-ACK round
 // trips. Eval reports and tests read percentiles from these.
@@ -785,6 +801,21 @@ func (mb *mbConn) eventRouter() {
 func (mb *mbConn) eventsInFlight() uint64 {
 	routed := mb.eventsRouted.Load()
 	return mb.eventsRecv.Load() - routed
+}
+
+// drainEvents waits until every event frame received from this connection
+// has been routed (bounded by timeout). Transaction completion uses it
+// between the mark-clearing ack and the detach: the source guarantees all
+// events it raised under the old marks are on the wire ahead of the ack,
+// and the read loop has charged them into eventsRecv before delivering the
+// ack — but routing happens on the connection's eventRouter goroutine, so
+// without this wait the detach could still outrun the router and orphan
+// the transaction's final events.
+func (mb *mbConn) drainEvents(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for mb.eventsInFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Microsecond)
+	}
 }
 
 // controller returns the replica that currently owns this connection.

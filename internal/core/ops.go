@@ -392,6 +392,13 @@ func (c *Controller) moveConns(src, dst *mbConn, m packet.FieldMatch) error {
 	c.finishAfterQuiet(t, func() {
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelSupportPerflow, Match: m}, c.opts.CallTimeout)
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpDelReportPerflow, Match: m}, c.opts.CallTimeout)
+		// The deletes above destroyed the source's post-snapshot updates for
+		// marked packets that were still draining off its ingress ring; the
+		// source flushed their reprocess events ahead of the delete acks.
+		// Route them all (they forward to the destination for replay) before
+		// tearing down the routing entries — detaching first would orphan
+		// them and lose those packets from the moved state.
+		src.drainEvents(c.opts.CallTimeout)
 		t.detach()
 	})
 	return nil
@@ -462,6 +469,10 @@ func (c *Controller) sharedTransferConns(src, dst *mbConn, getOps, putOps []sbi.
 	// source so it stops raising events; state is left in place.
 	c.finishAfterQuiet(t, func() {
 		_, _ = src.call(&sbi.Message{Type: sbi.MsgRequest, Op: sbi.OpEndTransaction, Enable: true}, c.opts.CallTimeout)
+		// Shared events flushed ahead of the end-transaction ack still need
+		// routing (they forward to the destination, which replays them into
+		// its shared copy only — Context.SkipPerflow); detach after.
+		src.drainEvents(c.opts.CallTimeout)
 		t.detach()
 	})
 	return nil

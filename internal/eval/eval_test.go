@@ -276,3 +276,31 @@ func TestFigure7Runs(t *testing.T) {
 		t.Fatal("new instance never processed packets")
 	}
 }
+
+func TestFlashCrowdRuns(t *testing.T) {
+	// Default (quick) scale, both rows. The experiment self-asserts the
+	// hard contract — loop-on must be loss-free with exact per-flow
+	// conservation and at least one scale-out AND scale-in; loop-off must
+	// shed — so this test only re-checks the rendered shape.
+	tbl := mustRun(t, func() (*Table, error) {
+		return FlashCrowd(FlashCrowdConfig{})
+	})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if got := cell(t, tbl, 0, 0); got != "on" {
+		t.Fatalf("row 0 loop cell: %s", got)
+	}
+	if atoi(t, cell(t, tbl, 0, 3)) < 1 || atoi(t, cell(t, tbl, 0, 4)) < 1 {
+		t.Fatalf("loop-on row shows no scaling: %v", tbl.Rows[0])
+	}
+	if atoi(t, cell(t, tbl, 0, 5)) != 0 {
+		t.Fatalf("loop-on row shed packets: %v", tbl.Rows[0])
+	}
+	if atoi(t, cell(t, tbl, 1, 2)) != 1 || atoi(t, cell(t, tbl, 1, 5)) == 0 {
+		t.Fatalf("frozen ablation row did not shed on one member: %v", tbl.Rows[1])
+	}
+	if atoi(t, cell(t, tbl, 0, 2)) < 2 {
+		t.Fatalf("loop-on fleet never grew: %v", tbl.Rows[0])
+	}
+}

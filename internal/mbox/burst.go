@@ -148,6 +148,10 @@ func (rt *Runtime) processBurst(ctxs []Context, pkts []*packet.Packet, bs *burst
 	default:
 	}
 	bs.reset()
+	// Parity clock (see Runtime.procSeq): odd from the first Touch of the
+	// burst until every packet's reprocess event is enqueued, so a
+	// mark-clearing op can wait out the burst in flight.
+	rt.procSeq.Add(1)
 	tr := rt.tracer.Enabled()
 	if tr != nil {
 		for _, p := range pkts {
@@ -182,6 +186,7 @@ func (rt *Runtime) processBurst(ctxs []Context, pkts []*packet.Packet, bs *burst
 	for i := range ctxs {
 		rt.maybeRaiseReprocess(&ctxs[i], pkts[i])
 	}
+	rt.procSeq.Add(1)
 	rt.flushEmits(bs)
 	rt.processed.Add(uint64(n))
 	rt.pending.Add(int64(-n))

@@ -55,6 +55,11 @@ type eventOutbox struct {
 	jobs    []*sbi.Event
 	arena   []byte
 	closed  bool
+	// draining is true while the flusher is framing a swapped-out batch;
+	// gen counts completed drain cycles. Together they let barrier wait
+	// until everything queued before the call is on the wire.
+	draining bool
+	gen      uint64
 }
 
 func (ob *eventOutbox) init() {
@@ -92,6 +97,38 @@ func (ob *eventOutbox) add(ev *sbi.Event, p *packet.Packet) bool {
 		ob.cond.Signal()
 	}
 	return true
+}
+
+// barrier blocks until every event queued before the call has been framed
+// and flushed to the transport (or the outbox closed, or the cap expired).
+// Because every drain swaps out the WHOLE backlog, the events in question
+// are covered by at most two more drain completions: the batch currently
+// mid-send plus one drain of the present jobs slice. Waiting on the drain
+// generation instead of an empty backlog keeps the bound independent of
+// concurrent raisers refilling the queue.
+func (ob *eventOutbox) barrier(timeout time.Duration) {
+	ob.mu.Lock()
+	var target uint64
+	switch {
+	case ob.draining && len(ob.jobs) > 0:
+		target = ob.gen + 2
+	case ob.draining || len(ob.jobs) > 0:
+		target = ob.gen + 1
+	default:
+		ob.mu.Unlock()
+		return
+	}
+	ob.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		ob.mu.Lock()
+		done := ob.gen >= target || ob.closed
+		ob.mu.Unlock()
+		if done || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 }
 
 // close wakes the flusher to drain the backlog and exit, and releases any
@@ -146,11 +183,16 @@ func (rt *Runtime) eventFlusher() {
 		ob.mu.Lock()
 		batch, arena := ob.jobs, ob.arena
 		ob.jobs, ob.arena = spareJobs[:0], spareArena[:0]
+		ob.draining = true
 		ob.notFull.Broadcast()
 		ob.mu.Unlock()
 
 		rt.sendEventFrames(batch)
 		rt.eventsQueued.Add(-int64(len(batch)))
+		ob.mu.Lock()
+		ob.draining = false
+		ob.gen++
+		ob.mu.Unlock()
 		lastBatch = len(batch)
 		for i := range batch {
 			batch[i] = nil

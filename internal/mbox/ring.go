@@ -137,6 +137,17 @@ func (r *ingressRing) popBatch(dst []ingressItem) []ingressItem {
 	return dst
 }
 
+// stats returns the live and replay queue depths and the per-queue capacity
+// in one consistent view (both depths under the same lock acquisition, so a
+// sampler can never see a packet counted in neither or both queues
+// mid-transfer).
+func (r *ingressRing) stats() (live, replay, capacity int) {
+	r.mu.Lock()
+	live, replay, capacity = r.live.n, r.replay.n, len(r.live.buf)
+	r.mu.Unlock()
+	return live, replay, capacity
+}
+
 // close marks the ring closed and wakes the worker. Queued items remain for
 // the worker to drain.
 func (r *ingressRing) close() {

@@ -94,6 +94,12 @@ type Runtime struct {
 	// pending counts queued plus in-process packets, for Drain.
 	pending atomic.Int64
 
+	// procSeq is the worker's packet parity clock: odd while a packet (or
+	// burst) is between its mark check and its reprocess-event enqueue, even
+	// between packets. syncEvents uses it to wait out the one in-flight
+	// packet whose Touch may have seen marks a clearing op just removed.
+	procSeq atomic.Uint64
+
 	forwardMu sync.RWMutex
 	forward   func(p *packet.Packet)
 	// forwardBurst, when set, receives whole emitted bursts in one call —
@@ -336,6 +342,8 @@ func (rt *Runtime) worker() {
 // borrowed reference (the logic takes its own via Context.Emit/Retain if it
 // keeps or forwards the packet).
 func (rt *Runtime) process(ctx *Context, p *packet.Packet, replay, replayShared bool) {
+	rt.procSeq.Add(1)
+	defer rt.procSeq.Add(1)
 	defer rt.pending.Add(-1)
 	defer p.Release()
 	tr := rt.tracer.Enabled()
@@ -441,6 +449,38 @@ func (rt *Runtime) emitIntrospection(code string, key packet.FlowKey, values map
 		return
 	}
 	rt.sendEvent(ev)
+}
+
+// eventSyncTimeout caps how long a mark-clearing op will wait for the
+// worker's in-flight packet and the outbox drain. The cap only matters with
+// pathological logic (a Process wedged mid-packet); in that case the op
+// proceeds and accepts the pre-fix one-packet race rather than wedging the
+// southbound serve loop.
+const eventSyncTimeout = time.Second
+
+// syncEvents publishes every reprocess event already decided against the
+// marks as they stood before a clearing op: wait for the in-flight packet
+// (whose Touch may have seen the old marks) to finish its raise step, then
+// barrier the outbox so those events are flushed to the transport. The
+// serve loop replies to the clearing op only after this returns, so the ack
+// is serialized on the wire BEHIND every event the cleared marks produced —
+// the controller routes them while the transaction is still attached, and
+// the quiet-period delete can no longer outrun a slow consumer's backlog of
+// marked packets (each of those events carries a packet whose source-side
+// update the delete is about to destroy; losing one loses the packet).
+func (rt *Runtime) syncEvents() {
+	s := rt.procSeq.Load()
+	if s&1 == 1 {
+		deadline := time.Now().Add(eventSyncTimeout)
+		for rt.procSeq.Load() == s && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	if rt.coalesce {
+		rt.outbox.barrier(eventSyncTimeout)
+	}
+	// The synchronous ablation path writes events to the conn inside the
+	// worker's raise step; the parity wait above already covers it.
 }
 
 // queueEvent hands one raised event to the outbox flusher, keeping the
@@ -598,6 +638,44 @@ func (rt *Runtime) WireCounters() sbi.Counters {
 	return conn.Counters()
 }
 
+// RingStats is a consistent snapshot of the ingress ring for load sampling:
+// queue depths and drop counters that belong to the same instant.
+type RingStats struct {
+	// Live and Replay are the queued (not yet dispatched) packet counts;
+	// Capacity is each queue's slot count.
+	Live, Replay, Capacity int
+	// DroppedPackets and DroppedReplays are the cumulative ring-full sheds,
+	// coherent with the depths above: no shed happened between the depth
+	// read and these counter reads.
+	DroppedPackets, DroppedReplays uint64
+}
+
+// ringStatsAttempts bounds the RingStats stabilization loop; each retry is a
+// handful of atomic loads, so a few attempts ride out even a shed storm.
+const ringStatsAttempts = 4
+
+// RingStats returns a tear-proof ingress snapshot. The depths come from one
+// lock acquisition on the ring (a packet mid-transfer can never be counted
+// twice or not at all), and the drop counters are read before and after the
+// depth until both reads agree — so a concurrent shed cannot produce a
+// snapshot whose depth and drop count belong to different instants. The
+// /metrics scrape contract explicitly allows cross-series tearing; a control
+// loop making scale decisions from (depth, drops) deltas cannot, which is
+// why it samples here instead of scraping.
+func (rt *Runtime) RingStats() RingStats {
+	for attempt := 0; ; attempt++ {
+		d1, r1 := rt.droppedPackets.Load(), rt.droppedReplays.Load()
+		live, replay, capacity := rt.ring.stats()
+		d2, r2 := rt.droppedPackets.Load(), rt.droppedReplays.Load()
+		if (d1 == d2 && r1 == r2) || attempt >= ringStatsAttempts {
+			return RingStats{
+				Live: live, Replay: replay, Capacity: capacity,
+				DroppedPackets: d2, DroppedReplays: r2,
+			}
+		}
+	}
+}
+
 // Metrics returns a snapshot of the runtime's counters.
 func (rt *Runtime) Metrics() Metrics {
 	m := Metrics{
@@ -651,6 +729,8 @@ func (rt *Runtime) Collect(e *obs.Emitter) {
 	e.Counter("openmb_mb_suppressed_emits_total", "Emits suppressed during state operations.", m.SuppressedEmits, "mb", mb, "kind", kind)
 	e.Counter("openmb_mb_reconnects_total", "Successful southbound session resumes.", m.Reconnects, "mb", mb, "kind", kind)
 	e.Gauge("openmb_mb_pending_packets", "Packets queued or in process on the ingress path.", float64(rt.pending.Load()), "mb", mb, "kind", kind)
+	rs := rt.RingStats()
+	e.Gauge("openmb_mb_ring_depth", "Packets queued in the ingress ring (live + replay).", float64(rs.Live+rs.Replay), "mb", mb, "kind", kind)
 	wc := rt.WireCounters()
 	e.Counter("openmb_conn_sent_frames_total", "SBI frames sent on the southbound connection.", wc.Sent, "conn", mb, "side", "mb")
 	e.Counter("openmb_conn_received_frames_total", "SBI frames received on the southbound connection.", wc.Received, "conn", mb, "side", "mb")

@@ -293,6 +293,10 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 			rt.clearMarks(m.Match, state.Supporting, false)
 			rt.clearMarks(m.Match, state.Reporting, false)
 		}
+		// Events decided against the old marks must reach the wire before
+		// the ack: the controller detaches the transaction's routing once
+		// this op completes.
+		rt.syncEvents()
 		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
 
 	case sbi.OpReprocess:
@@ -434,6 +438,11 @@ func (rt *Runtime) serveDelPerflow(conn *sbi.Conn, m *sbi.Message, class state.C
 	// Completing a move ends the transaction for these keys; Enable
 	// doubles as "also clear the shared mark" for clone/merge endings.
 	rt.clearMarks(m.Match, class, m.Enable)
+	// The delete above destroyed state that includes updates from marked
+	// packets still draining off the ingress ring; their reprocess events
+	// are the only surviving record. Publish them all before the ack so
+	// the controller forwards them while the move is still attached.
+	rt.syncEvents()
 	_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: n})
 }
 

@@ -30,6 +30,7 @@ import (
 	"openmb/internal/apps"
 	"openmb/internal/bed"
 	"openmb/internal/core"
+	"openmb/internal/elastic"
 	"openmb/internal/mbox"
 	"openmb/internal/mbox/ips"
 	"openmb/internal/mbox/lb"
@@ -299,6 +300,59 @@ func MetricsCollectorFunc(f func(e *MetricsEmitter)) MetricsCollector { return o
 func ServeMetrics(addr string, reg *MetricsRegistry) (string, func(), error) {
 	return obshttp.Serve(addr, reg)
 }
+
+// Elasticity loop (docs/ARCHITECTURE.md "Elasticity loop"): a Stratos-style
+// placement controller that samples live load signals and acts through the
+// cluster northbound API — CloneSupport+MoveInternal scale-out,
+// MoveInternal+MergeInternal scale-in, Rebalance migration — with hysteresis
+// and cooldown damping.
+type (
+	// ElasticLoop is the placement controller; create with NewElasticLoop,
+	// run with Start or drive with Tick.
+	ElasticLoop = elastic.Loop
+	// ElasticConfig tunes thresholds, hysteresis windows, and cooldown.
+	ElasticConfig = elastic.Config
+	// ElasticTotals snapshots the loop's decision counters.
+	ElasticTotals = elastic.Totals
+	// ElasticSource produces deployment load samples.
+	ElasticSource = elastic.Source
+	// ElasticActuator executes the loop's decisions.
+	ElasticActuator = elastic.Actuator
+	// ElasticClusterSource samples a live Cluster (registered co-located
+	// runtimes directly, connection-only middleboxes via wire counters).
+	ElasticClusterSource = elastic.ClusterSource
+	// ElasticClusterActuator acts on a live Cluster through the northbound
+	// operations; a nil GroupDriver selects migrate-only mode.
+	ElasticClusterActuator = elastic.ClusterActuator
+	// ElasticGroupDriver supplies the deployment-specific halves of scaling:
+	// spawning/retiring instances and steering traffic.
+	ElasticGroupDriver = elastic.GroupDriver
+	// ElasticMember is one instance of an elastic group.
+	ElasticMember = elastic.Member
+)
+
+// NewElasticLoop creates a placement controller over the source and actuator.
+func NewElasticLoop(cfg ElasticConfig, src ElasticSource, act ElasticActuator) *ElasticLoop {
+	return elastic.New(cfg, src, act)
+}
+
+// NewElasticClusterSource creates a load source sampling the cluster.
+func NewElasticClusterSource(cl *Cluster) *ElasticClusterSource {
+	return elastic.NewClusterSource(cl)
+}
+
+// NewElasticClusterActuator creates an actuator over the cluster. src may be
+// nil to skip sampling registration; drv nil means migrate-only.
+func NewElasticClusterActuator(cl *Cluster, src *ElasticClusterSource, drv ElasticGroupDriver) *ElasticClusterActuator {
+	return elastic.NewClusterActuator(cl, src, drv)
+}
+
+// SetElasticDefault sets whether daemons and eval rigs arm the elasticity
+// loop by default. Also settable with OPENMB_ELASTIC=off.
+func SetElasticDefault(on bool) { elastic.SetDefault(on) }
+
+// ElasticDefault reports whether the elasticity loop is armed by default.
+func ElasticDefault() bool { return elastic.Default() }
 
 // Trace is a time-ordered synthetic packet trace.
 type Trace = trace.Trace
