@@ -11,15 +11,33 @@
 // the next replica mid-flight — exercising the ownership-transfer protocol
 // continuously, the way a production deployment would during maintenance
 // drains.
+//
+// With -node NAME (and -join ADDR for every member after the first) the
+// daemon becomes one node of a DISTRIBUTED cluster: controller processes
+// link to each other over SBI peer connections, replicate the middlebox
+// directory with quorum-committed ownership changes, and move middleboxes
+// across process boundaries (docs/ARCHITECTURE.md "Distributed cluster").
+// -admin serves a minimal HTTP control surface (/move, /pull, /owner, /mbs,
+// /peers, /health) for scripting cross-node operations.
+//
+// SIGTERM and SIGINT both shut the daemon down gracefully: in-flight
+// transactions drain, spawned elastic children retire, and (in node mode)
+// the node announces its departure so peers shrink their quorum
+// denominators.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"openmb"
@@ -44,11 +62,21 @@ func main() {
 	elasticCooldown := flag.Duration("elastic-cooldown", 0, "quiet window after each elasticity action (0 = default 500ms)")
 	elasticMigrateRatio := flag.Float64("elastic-migrate-ratio", 0, "multiple of peer-mean control load a replica must carry before a migration fires (0 = default 4, negative disables migration)")
 	elasticMigrateMin := flag.Float64("elastic-migrate-min", 0, "minimum absolute per-interval control load before a migration fires (0 = default 256)")
+	elasticMBBin := flag.String("elastic-mb-bin", os.Getenv("OPENMB_ELASTIC_MB_BIN"), "openmb-mb binary the elasticity loop may spawn as scale-out group members (empty = migrate-only; default from OPENMB_ELASTIC_MB_BIN)")
+	elasticMBKind := flag.String("elastic-mb-kind", "monitor", "middlebox -kind for spawned group members")
+	elasticMBController := flag.String("elastic-mb-controller", "", "comma-separated -controller list handed to spawned members (empty = this daemon's listen address)")
+	nodeName := flag.String("node", os.Getenv("OPENMB_NODE"), "run as the named node of a distributed cluster (empty = standalone; default from OPENMB_NODE)")
+	advertise := flag.String("advertise", "", "address peers and redirected middleboxes dial to reach this node (empty = the listen address)")
+	join := flag.String("join", "", "comma-separated addresses of existing cluster nodes to join (implies node mode)")
+	admin := flag.String("admin", "", "address for the admin HTTP endpoint — /move /pull /owner /mbs /peers /health (node mode only; empty = none)")
+	findRetry := flag.Duration("find-retry", 0, "how long northbound operations retry an unresolved middlebox name (0 = default: 250ms standalone, 2s node mode)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound on draining in-flight transactions")
 	flag.Parse()
 
 	openmb.SetCoalesceDefault(*coalesce)
-	cluster := openmb.NewCluster(openmb.ClusterOptions{
-		Replicas: *replicas,
+	clusterOpts := openmb.ClusterOptions{
+		Replicas:        *replicas,
+		FindRetryWindow: *findRetry,
 		Controller: openmb.ControllerOptions{
 			QuietPeriod:       *quiet,
 			Compress:          *compress,
@@ -58,28 +86,76 @@ func main() {
 			HeartbeatMisses:   *misses,
 			HelloTimeout:      *helloTimeout,
 		},
-	})
+	}
+
+	// Node mode wraps the cluster in a distributed-cluster Node; standalone
+	// serves the bare cluster. Either way `cluster` drives the shared paths
+	// (introspection, metrics, rebalance, elasticity).
+	var node *openmb.Node
+	var cluster *openmb.Cluster
+	if *nodeName != "" || *join != "" {
+		if *nodeName == "" {
+			*nodeName = "node"
+		}
+		node = openmb.NewNode(openmb.NodeOptions{
+			Name:      *nodeName,
+			Advertise: *advertise,
+			Cluster:   clusterOpts,
+		})
+		cluster = node.Cluster
+	} else {
+		cluster = openmb.NewCluster(clusterOpts)
+	}
 	if *events {
 		cluster.SubscribeIntrospection(func(mb string, ev *openmb.Event) {
 			log.Printf("event from %s: code=%s key=%s values=%v", mb, ev.Code, ev.Key, ev.Values)
 		})
 	}
-	if err := cluster.Serve(openmb.TCPTransport{}, *listen); err != nil {
-		log.Fatal(err)
+	if node != nil {
+		if err := node.Serve(openmb.TCPTransport{}, *listen); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("openmb-controller node %q listening on %s (advertise %s, replicas=%d, quiet period %v)",
+			node.Name(), node.Addr(), node.Advertise(), cluster.Replicas(), *quiet)
+		for _, addr := range splitList(*join) {
+			if err := joinRetry(node, addr); err != nil {
+				log.Printf("join %s: %v (will rely on peer redial)", addr, err)
+				continue
+			}
+			log.Printf("joined cluster via %s (peers: %v, known nodes: %d)", addr, node.Peers(), node.KnownNodes())
+		}
+	} else {
+		if err := cluster.Serve(openmb.TCPTransport{}, *listen); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d, heartbeat=%v)",
+			*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards(), *heartbeat)
 	}
-	log.Printf("openmb-controller listening on %s (replicas=%d, quiet period %v, compress=%v, batch=%d, shards=%d, heartbeat=%v)",
-		*listen, cluster.Replicas(), *quiet, *compress, *batch, cluster.Shards(), *heartbeat)
 
-	// Elasticity loop. The daemon hosts no co-located runtimes, so the
-	// cluster source sees only connection-level load: the loop runs in
-	// migrate-only mode (nil driver), handing hot middleboxes to cool
-	// replicas. Scale decisions need an embedding program that registers
-	// runtimes and a GroupDriver (package openmb, internal/eval's
-	// flash-crowd bed).
+	// Elasticity loop. Without -elastic-mb-bin the daemon hosts no spawnable
+	// instances, so the loop runs in migrate-only mode (nil driver), handing
+	// hot middleboxes to cool replicas. With a binary configured, scale-outs
+	// spawn real openmb-mb processes pointed back at this controller (or the
+	// explicit -elastic-mb-controller list, for failover across nodes).
 	var loop *openmb.ElasticLoop
+	var drv *openmb.ElasticProcessDriver
+	var act *openmb.ElasticClusterActuator
 	if *elasticOn {
 		src := openmb.NewElasticClusterSource(cluster)
-		act := openmb.NewElasticClusterActuator(cluster, src, nil)
+		var groupDrv openmb.ElasticGroupDriver
+		if *elasticMBBin != "" {
+			ctrlList := *elasticMBController
+			if ctrlList == "" {
+				ctrlList = *listen
+			}
+			drv = openmb.NewElasticProcessDriver(openmb.ElasticProcessConfig{
+				Bin:        *elasticMBBin,
+				Controller: ctrlList,
+				Kind:       *elasticMBKind,
+			})
+			groupDrv = drv
+		}
+		act = openmb.NewElasticClusterActuator(cluster, src, groupDrv)
 		loop = openmb.NewElasticLoop(openmb.ElasticConfig{
 			Interval:     *elasticInterval,
 			Cooldown:     *elasticCooldown,
@@ -87,14 +163,23 @@ func main() {
 			MigrateMin:   *elasticMigrateMin,
 		}, src, act)
 		loop.Start()
-		log.Printf("elasticity loop armed (migrate-only; interval=%v cooldown=%v)", *elasticInterval, *elasticCooldown)
+		if drv != nil {
+			log.Printf("elasticity loop armed (process driver %s, kind %s; interval=%v cooldown=%v)", *elasticMBBin, *elasticMBKind, *elasticInterval, *elasticCooldown)
+		} else {
+			log.Printf("elasticity loop armed (migrate-only; interval=%v cooldown=%v)", *elasticInterval, *elasticCooldown)
+		}
 	}
 
 	if *metrics != "" {
 		reg := openmb.NewMetricsRegistry()
-		reg.Register(cluster)
+		if node != nil {
+			reg.Register(node)
+		} else {
+			reg.Register(cluster)
+		}
 		if loop != nil {
 			reg.Register(loop)
+			reg.Register(act)
 		}
 		addr, _, err := openmb.ServeMetrics(*metrics, reg)
 		if err != nil {
@@ -103,6 +188,17 @@ func main() {
 			log.Fatalf("metrics endpoint: %v", err)
 		}
 		log.Printf("serving /metrics on %s", addr)
+	}
+
+	if *admin != "" {
+		if node == nil {
+			log.Fatal("openmb-controller: -admin requires node mode (-node or -join)")
+		}
+		addr, err := serveAdmin(*admin, node)
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		log.Printf("serving admin API on %s", addr)
 	}
 
 	// Periodically report the registered middleboxes and their replicas.
@@ -139,13 +235,125 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("received %v: shutting down\n", s)
 	if loop != nil {
 		loop.Close()
 	}
-	cluster.Close()
+	if drv != nil {
+		// Retire spawned children (SIGTERM, then SIGKILL after their grace
+		// window) before the controller stops serving their reconnects.
+		drv.Close()
+	}
+	if node != nil {
+		// Graceful departure: drain transactions, announce OpPeerLeave to
+		// every peer (shrinking their quorum denominators), then close.
+		node.Shutdown(*drain)
+	} else {
+		cluster.WaitTxns(*drain)
+		cluster.Close()
+	}
+}
+
+// serveAdmin starts the minimal HTTP control surface for a cluster node.
+// Every handler answers from (or acts through) the local node, so the
+// endpoint stays useful under partition: /owner serves the stale-but-safe
+// directory view, /move and /pull fail with the node's own quorum errors.
+func serveAdmin(addr string, node *openmb.Node) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok %s peers=%d known=%d\n", node.Name(), len(node.Peers()), node.KnownNodes())
+	})
+	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"name": node.Name(), "peers": node.Peers(), "known": node.KnownNodes()})
+	})
+	mux.HandleFunc("/mbs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"node": node.Name(), "middleboxes": node.Middleboxes()})
+	})
+	mux.HandleFunc("/owner", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("mb")
+		if name == "" {
+			http.Error(w, "missing ?mb=", http.StatusBadRequest)
+			return
+		}
+		owner, ok := node.Lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no directory entry for %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"mb": name, "owner": owner})
+	})
+	mux.HandleFunc("/pull", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("mb")
+		if name == "" {
+			http.Error(w, "missing ?mb=", http.StatusBadRequest)
+			return
+		}
+		if err := node.Pull(name); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"pulled": name, "node": node.Name()})
+	})
+	mux.HandleFunc("/move", func(w http.ResponseWriter, r *http.Request) {
+		src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+		if src == "" || dst == "" {
+			http.Error(w, "missing ?src= or ?dst=", http.StatusBadRequest)
+			return
+		}
+		match := openmb.MatchAll
+		if s := r.URL.Query().Get("match"); s != "" {
+			var err error
+			if match, err = openmb.ParseFieldMatch(s); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if err := node.MoveInternal(src, dst, match); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"moved": []string{src, dst}, "node": node.Name()})
+	})
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(l, mux) }()
+	return l.Addr().String(), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// joinRetry dials into the cluster with a short retry: in scripted
+// bring-ups (CI, systemd) the seed node's listener may be a beat behind.
+func joinRetry(node *openmb.Node, addr string) error {
+	var err error
+	for attempt, delay := 0, 200*time.Millisecond; attempt < 10; attempt++ {
+		if err = node.Join(addr); err == nil {
+			return nil
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+	return err
+}
+
+// splitList parses a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // describeOwners renders "name@replica" for every registered middlebox.

@@ -1,6 +1,14 @@
 // Command openmb-mb runs one OpenMB-enabled middlebox instance: it connects
 // to a controller over TCP, serves the southbound API, and optionally
 // replays a trace file through its packet path.
+//
+// -controller accepts a comma-separated address list: the runtime dials the
+// first reachable candidate and fails over down the list when a session
+// dies or a controller refuses (or redirects) the registration — the
+// client half of the distributed cluster's directory protocol.
+//
+// SIGTERM and SIGINT both exit gracefully: in-flight packet work drains
+// (bounded by -drain-timeout) before the southbound session closes.
 package main
 
 import (
@@ -11,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"openmb"
@@ -20,7 +29,7 @@ import (
 )
 
 func main() {
-	controller := flag.String("controller", "127.0.0.1:9753", "controller address")
+	controller := flag.String("controller", "127.0.0.1:9753", "controller address, or a comma-separated failover list (first reachable wins)")
 	name := flag.String("name", "", "instance name (required), e.g. prads1")
 	kind := flag.String("kind", "monitor", "middlebox type: monitor|ips|re-encoder|re-decoder|nat|lb")
 	tracePath := flag.String("trace", "", "optional trace file to replay through the packet path")
@@ -35,6 +44,7 @@ func main() {
 	reconnectMin := flag.Duration("reconnect-min", 0, "initial redial backoff (0 = default 50ms)")
 	reconnectMax := flag.Duration("reconnect-max", 0, "backoff ceiling (0 = default 2s)")
 	metrics := flag.String("metrics", os.Getenv("OPENMB_METRICS"), "address to serve the Prometheus /metrics endpoint on (empty = no endpoint; default from OPENMB_METRICS)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound on draining in-flight packet work")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("openmb-mb: -name is required")
@@ -96,10 +106,16 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	// Graceful drain: let in-flight packet work and buffered events reach
+	// the controller before the deferred Close tears the session down — a
+	// SIGTERM'd instance should leave no half-processed state behind.
+	if !rt.Drain(*drainTimeout) {
+		log.Printf("drain did not complete within %v", *drainTimeout)
+	}
 	m := rt.Metrics()
-	fmt.Printf("shutting down: processed=%d replayed=%d events=%d\n", m.Processed, m.Replayed, m.EventsRaised)
+	fmt.Printf("received %v, shutting down: processed=%d replayed=%d events=%d\n", s, m.Processed, m.Replayed, m.EventsRaised)
 }
 
 func buildLogic(kind, natIP, lbVIP, lbBackends string, cacheBytes int) (openmb.Logic, error) {

@@ -41,7 +41,20 @@ type ClusterOptions struct {
 	Replicas int
 	// Controller configures every replica (quiet period, shards, ...).
 	Controller Options
+	// FindRetryWindow bounds how long northbound operations keep
+	// re-resolving a middlebox name that transiently resolves nowhere
+	// (mid-handoff, mid-recovery, mid-reconnect). Zero selects the
+	// in-process default (250ms); cross-process deployments, whose
+	// failover gaps include real dial latencies and reconnect backoff,
+	// want seconds.
+	FindRetryWindow time.Duration
 }
+
+// defaultFindRetryWindow is the in-process findRetry bound: long enough to
+// cover a handoff freeze, a replica-failure migration, or a reconnecting
+// middlebox's first backoff; short enough that a genuinely unknown name
+// still fails fast.
+const defaultFindRetryWindow = 250 * time.Millisecond
 
 // Cluster is a replicated OpenMB controller.
 type Cluster struct {
@@ -55,8 +68,15 @@ type Cluster struct {
 	listener net.Listener
 	closed   atomic.Bool
 
+	// findRetryWindow bounds findRetry; see ClusterOptions.FindRetryWindow.
+	findRetryWindow time.Duration
+
 	// handoffs counts completed live ownership transfers.
 	handoffs atomic.Uint64
+	// dirMissRetries counts findRetry poll iterations that found the name
+	// unresolved (or resolved onto a failed replica) — a measure of how
+	// much time northbound callers spend riding out directory misses.
+	dirMissRetries atomic.Uint64
 }
 
 // NewCluster creates a cluster of opts.Replicas controller replicas.
@@ -64,7 +84,14 @@ func NewCluster(opts ClusterOptions) *Cluster {
 	if opts.Replicas < 1 {
 		opts.Replicas = 1
 	}
-	cl := &Cluster{dir: newDirectory(opts.Replicas), registry: newTxnRegistry()}
+	if opts.FindRetryWindow <= 0 {
+		opts.FindRetryWindow = defaultFindRetryWindow
+	}
+	cl := &Cluster{
+		dir:             newDirectory(opts.Replicas),
+		registry:        newTxnRegistry(),
+		findRetryWindow: opts.FindRetryWindow,
+	}
 	for i := 0; i < opts.Replicas; i++ {
 		c := NewController(opts.Controller)
 		// Replicas of a multi-replica cluster participate in handoffs;
@@ -157,24 +184,19 @@ func (cl *Cluster) find(name string) (*Controller, *mbConn, error) {
 	return nil, nil, fmt.Errorf("core: unknown middlebox %q", name)
 }
 
-// findRetryWindow bounds how long findRetry keeps re-resolving a name that
-// does not resolve (or resolves onto a failed replica). Long enough to cover
-// a handoff freeze, a replica-failure migration, or a reconnecting
-// middlebox's first backoff; short enough that a genuinely unknown name
-// still fails fast.
-const findRetryWindow = 250 * time.Millisecond
-
-// findRetry is find with bounded retry: a name mid-handoff, mid-recovery,
-// or mid-reconnect transiently resolves nowhere (or to a replica declared
-// failed), and the northbound API should ride out that window instead of
-// surfacing a spurious unknown-middlebox error.
+// findRetry is find with bounded retry (ClusterOptions.FindRetryWindow): a
+// name mid-handoff, mid-recovery, or mid-reconnect transiently resolves
+// nowhere (or to a replica declared failed), and the northbound API should
+// ride out that window instead of surfacing a spurious unknown-middlebox
+// error.
 func (cl *Cluster) findRetry(name string) (*Controller, *mbConn, error) {
-	deadline := time.Now().Add(findRetryWindow)
+	deadline := time.Now().Add(cl.findRetryWindow)
 	for {
 		c, mb, err := cl.find(name)
 		if err == nil && !c.failed.Load() {
 			return c, mb, nil
 		}
+		cl.dirMissRetries.Add(1)
 		if !time.Now().Before(deadline) {
 			if err == nil {
 				// The connection never migrated off the failed replica
@@ -378,6 +400,27 @@ func (cl *Cluster) MoveInternal(srcMB, dstMB string, m packet.FieldMatch) error 
 	}
 }
 
+// RecoverMove restores a move whose coordinating process died mid-flight.
+// The in-process retry above cannot help there — the coordinator's registry,
+// and with it every live transaction, died with the process — so whichever
+// node the middleboxes reconnect to calls RecoverMove: roll the half-applied
+// transfer back to "the move never happened" (safe even if the move never
+// started, or finished — rollback only clears marks and purges half-copied
+// state that exists), then run the move again from scratch on this cluster.
+// Both middleboxes must already be registered locally.
+func (cl *Cluster) RecoverMove(srcMB, dstMB string, m packet.FieldMatch) error {
+	_, src, err := cl.findRetry(srcMB)
+	if err != nil {
+		return err
+	}
+	_, dst, err := cl.findRetry(dstMB)
+	if err != nil {
+		return err
+	}
+	cl.rollbackMove(src, dst, m)
+	return cl.MoveInternal(srcMB, dstMB, m)
+}
+
 // CloneSupport clones shared supporting state across partitions; see
 // Controller.CloneSupport.
 func (cl *Cluster) CloneSupport(srcMB, dstMB string) error {
@@ -475,6 +518,7 @@ func (cl *Cluster) Collect(e *obs.Emitter) {
 		c.collect(e, "replica", strconv.Itoa(i))
 	}
 	e.Counter("openmb_handoffs_total", "Live replica-to-replica ownership transfers completed.", cl.handoffs.Load())
+	e.Counter("openmb_directory_miss_retries_total", "Northbound findRetry polls that found a middlebox name unresolved or on a failed replica.", cl.dirMissRetries.Load())
 }
 
 // Close stops the accept loop and every replica.

@@ -547,7 +547,7 @@ func TestHandoffMessageCodecRoundTrip(t *testing.T) {
 			c.router.route(src.mb, &sbi.Event{Kind: sbi.EventReprocess, Key: key(9), Seq: 2, Packet: []byte{0xB}}) // orphan
 
 			src.mb.handoffMu.Lock()
-			h, txns := c.router.exportHandoff(src.mb)
+			h := c.router.exportHandoff(src.mb)
 			src.mb.handoffMu.Unlock()
 			if len(h.Keys) != 3 {
 				t.Fatalf("export produced %d records, want 3: %+v", len(h.Keys), h)
@@ -584,10 +584,16 @@ func TestHandoffMessageCodecRoundTrip(t *testing.T) {
 			}
 
 			// Import the decoded payload into a second replica and drain:
-			// the ACKs must release the transferred buffers in order.
+			// the ACKs must release the transferred buffers in order. The
+			// import resolves transactions from the decoded bytes through
+			// the exporter's registry — the cross-process code path.
 			c2 := NewController(Options{Shards: 8}) // different shard count on purpose
-			if err := c2.router.importHandoff(src.mb, decoded.Handoff, txns); err != nil {
+			dropped, err := c2.router.importHandoff(src.mb, decoded.Handoff, c.registry)
+			if err != nil {
 				t.Fatal(err)
+			}
+			if dropped != 0 {
+				t.Fatalf("import dropped %d keys of a fully resolvable payload", dropped)
 			}
 			src.mb.ctrl.Store(c2)
 			tx.ackPut(key(1))
@@ -602,6 +608,55 @@ func TestHandoffMessageCodecRoundTrip(t *testing.T) {
 			assertRouterEmpty(t, c2.router)
 		})
 	}
+}
+
+// TestImportHandoffAbortedRemote: a handoff whose txn IDs the importer's
+// registry cannot resolve belongs to a coordinator that died with its
+// process. The import must drop those keys as aborted-remote — buffered
+// events discarded, conservation intact because live packets are always
+// counted at the source — while still installing orphan records, and must
+// never install a key with a dangling owner.
+func TestImportHandoffAbortedRemote(t *testing.T) {
+	c := NewController(Options{Shards: 4})
+	src := newTestPeer(t, c, "src")
+	dst := newTestPeer(t, c, "dst")
+	tx := newTxn(c, src.mb, dst.mb)
+	tx.registerChunk(key(1))
+	c.router.route(src.mb, &sbi.Event{Kind: sbi.EventReprocess, Key: key(1), Seq: 1, Packet: []byte{0xA}})
+	c.router.route(src.mb, &sbi.Event{Kind: sbi.EventReprocess, Key: key(9), Seq: 2, Packet: []byte{0xB}}) // orphan
+
+	src.mb.handoffMu.Lock()
+	h := c.router.exportHandoff(src.mb)
+	src.mb.handoffMu.Unlock()
+
+	// A fresh controller models the recovering process: its registry has
+	// never seen the exporter's transaction.
+	c2 := NewController(Options{Shards: 2})
+	dropped, err := c2.router.importHandoff(src.mb, h, c2.registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("import dropped %d keys, want 1 (the dead coordinator's)", dropped)
+	}
+	keys, orphans := 0, 0
+	for i := range c2.router.shards {
+		sh := &c2.router.shards[i]
+		sh.mu.Lock()
+		keys += len(sh.keys)
+		orphans += len(sh.orphans)
+		sh.mu.Unlock()
+	}
+	if keys != 0 || orphans != 1 {
+		t.Fatalf("after aborted-remote import: keys=%d orphans=%d, want 0/1", keys, orphans)
+	}
+
+	// A corrupt index past the table must still be rejected outright.
+	bad := &sbi.Handoff{MB: "src", Keys: []sbi.HandoffKey{{Key: key(2), Txn: 7}}, Txns: []uint64{tx.id}}
+	if _, err := c2.router.importHandoff(src.mb, bad, c2.registry); err == nil {
+		t.Fatal("out-of-table txn index accepted")
+	}
+	tx.detach()
 }
 
 func assertRouterEmpty(t *testing.T, r *txnRouter) {

@@ -119,9 +119,9 @@ func (cl *Cluster) failoverMB(from *Controller, mbName string, target int) error
 	}
 
 	// TRANSFER: dead router -> ownership-transfer payload -> survivor.
-	h, txns := from.router.exportHandoff(mb)
-	if err := to.router.importHandoff(mb, h, txns); err != nil {
-		_ = from.router.importHandoff(mb, h, txns)
+	h := from.router.exportHandoff(mb)
+	if _, err := to.router.importHandoff(mb, h, cl.registry); err != nil {
+		_, _ = from.router.importHandoff(mb, h, cl.registry)
 		return err
 	}
 
@@ -131,8 +131,8 @@ func (cl *Cluster) failoverMB(from *Controller, mbName string, target int) error
 	to.mu.Lock()
 	if _, dup := to.mbs[mbName]; dup {
 		to.mu.Unlock()
-		restored, rtxns := to.router.exportHandoff(mb)
-		_ = from.router.importHandoff(mb, restored, rtxns)
+		restored := to.router.exportHandoff(mb)
+		_, _ = from.router.importHandoff(mb, restored, cl.registry)
 		return fmt.Errorf("core: failover %q: name already registered at replica %d", mbName, target)
 	}
 	to.mbs[mbName] = mb

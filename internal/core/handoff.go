@@ -28,9 +28,11 @@ import (
 //     plus orphans) as an sbi.OpTransferOwnership payload, and import it
 //     into the new replica's router. Transactions stay alive on the
 //     replica that started them; only their routing state moves. The SBI
-//     message is the canonical serialized form — a cross-process cluster
-//     would put it on the wire; in-process the live transaction pointers
-//     ride a transfer table alongside (sbi.HandoffKey.Txn indexes it).
+//     message is the canonical serialized form — its Txns table carries
+//     registry IDs, which the importer resolves back to live transactions
+//     through the shared transaction registry, so the identical payload
+//     works across a function call or a process boundary (core.Node puts
+//     it on a peer wire).
 //  3. SWITCH & REPLAY — retarget the connection's owner pointer, move the
 //     registration between the replicas' tables, record the new ownership
 //     in the directory, and release the lock. Blocked events resume in
@@ -81,12 +83,14 @@ func (cl *Cluster) Rebalance(mbName string, target int) error {
 		return fmt.Errorf("core: rebalance %q: disconnected mid-freeze", mbName)
 	}
 
-	// TRANSFER: old router -> ownership-transfer payload -> new router.
-	h, txns := from.router.exportHandoff(mb)
-	if err := to.router.importHandoff(mb, h, txns); err != nil {
+	// TRANSFER: old router -> ownership-transfer payload -> new router,
+	// with transactions resolved back through the shared registry by wire
+	// ID — the same path a payload that crossed a process boundary takes.
+	h := from.router.exportHandoff(mb)
+	if _, err := to.router.importHandoff(mb, h, cl.registry); err != nil {
 		// Unreachable for a locally built payload (export produces a
 		// consistent table); restore rather than strand the state.
-		_ = from.router.importHandoff(mb, h, txns)
+		_, _ = from.router.importHandoff(mb, h, cl.registry)
 		return err
 	}
 
@@ -104,8 +108,8 @@ func (cl *Cluster) Rebalance(mbName string, target int) error {
 		// Pull the just-imported state back to the old owner before
 		// aborting, so nothing is stranded on a replica that will never
 		// own the connection.
-		restored, rtxns := to.router.exportHandoff(mb)
-		_ = from.router.importHandoff(mb, restored, rtxns)
+		restored := to.router.exportHandoff(mb)
+		_, _ = from.router.importHandoff(mb, restored, cl.registry)
 		return fmt.Errorf("core: rebalance %q: name already registered at replica %d", mbName, target)
 	}
 	to.mbs[mbName] = mb

@@ -43,6 +43,27 @@ func (r *txnRegistry) add(t *txn) {
 	r.mu.Unlock()
 }
 
+// find resolves a wire-visible transaction ID to its live transaction, or
+// nil when no such transaction is tracked here. Handoff imports use it to
+// re-bind transferred keys: an ID this registry cannot resolve belongs to a
+// transaction coordinated by another process (or one already finished), and
+// the importer treats its keys as aborted-remote.
+func (r *txnRegistry) find(id uint64) *txn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live[id]
+}
+
+// seed offsets the ID counter by a node-specific salt in the high bits, so
+// transaction IDs minted by different cluster processes never collide and a
+// wire ID names its minting node unambiguously. Must be called before the
+// first add; a zero salt leaves the single-process numbering unchanged.
+func (r *txnRegistry) seed(salt uint64) {
+	r.mu.Lock()
+	r.nextID = salt
+	r.mu.Unlock()
+}
+
 // remove untracks a detached transaction. Idempotent.
 func (r *txnRegistry) remove(t *txn) {
 	if t.id == 0 {

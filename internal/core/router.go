@@ -339,11 +339,14 @@ func (c *Controller) notifyIntrospection(mbName string, ev *sbi.Event) {
 // exportHandoff freezes nothing itself — the caller holds mb's handoff
 // write-lock — but removes and returns every routing entry the router holds
 // for mb: in-transaction key states and orphaned events, rendered as the
-// SBI ownership-transfer payload plus the transfer table resolving its
-// transaction indices to live transactions. With the write-lock held no
-// route/register/ACK/drain can be in flight, so pending counts and buffers
-// are exact and no key can be flushing.
-func (r *txnRouter) exportHandoff(mb *mbConn) (*sbi.Handoff, []*txn) {
+// SBI ownership-transfer payload. Transaction identity travels as registry
+// IDs in the payload's Txns table, so the result is self-contained: any
+// receiver with access to the transaction registry — the next replica over
+// or a different process entirely — can re-bind the keys from the bytes
+// alone. With the write-lock held no route/register/ACK/drain can be in
+// flight, so pending counts and buffers are exact and no key can be
+// flushing.
+func (r *txnRouter) exportHandoff(mb *mbConn) *sbi.Handoff {
 	h := &sbi.Handoff{MB: mb.name}
 	var txns []*txn
 	index := map[*txn]uint64{}
@@ -380,24 +383,34 @@ func (r *txnRouter) exportHandoff(mb *mbConn) (*sbi.Handoff, []*txn) {
 	for _, t := range txns {
 		h.Txns = append(h.Txns, t.id)
 	}
-	return h, txns
+	return h
 }
 
-// importHandoff installs a transferred flowspace into this router. txns is
-// the sender's transfer table; the caller still holds mb's handoff
-// write-lock, so the entries become visible atomically with the ownership
-// swap. Shard counts may differ between replicas — each router hashes the
-// keys into its own shards.
-func (r *txnRouter) importHandoff(mb *mbConn, h *sbi.Handoff, txns []*txn) error {
-	if len(h.Txns) != 0 && len(h.Txns) != len(txns) {
-		return fmt.Errorf("core: handoff for %q carries %d txn IDs for a %d-entry transfer table", h.MB, len(h.Txns), len(txns))
+// importHandoff installs a transferred flowspace into this router, resolving
+// the payload's transfer table through reg by wire ID — the payload plus a
+// registry is the complete input, so an import works identically whether the
+// handoff crossed a function call or a process boundary. The caller still
+// holds mb's handoff write-lock, so the entries become visible atomically
+// with the ownership swap. Shard counts may differ between replicas — each
+// router hashes the keys into its own shards.
+//
+// IDs reg cannot resolve name transactions that died with a remote
+// coordinator: their keys are dropped (buffered events discarded), the same
+// aborted-remote outcome a move rollback produces, and the count of dropped
+// keys is returned. Live packets are always counted at the source first, so
+// discarding the replay buffer loses no accepted packet.
+func (r *txnRouter) importHandoff(mb *mbConn, h *sbi.Handoff, reg *txnRegistry) (int, error) {
+	table := make([]*txn, len(h.Txns))
+	for i, id := range h.Txns {
+		table[i] = reg.find(id)
 	}
 	for i := range h.Keys {
 		hk := &h.Keys[i]
-		if hk.Txn > uint64(len(txns)) {
-			return fmt.Errorf("core: handoff for %q references transaction %d of %d", h.MB, hk.Txn, len(txns))
+		if hk.Txn > uint64(len(table)) {
+			return 0, fmt.Errorf("core: handoff for %q references transaction %d of %d", h.MB, hk.Txn, len(table))
 		}
 	}
+	dropped := 0
 	for i := range h.Keys {
 		hk := &h.Keys[i]
 		rk := routeKey{mb: mb, key: hk.Key}
@@ -405,10 +418,12 @@ func (r *txnRouter) importHandoff(mb *mbConn, h *sbi.Handoff, txns []*txn) error
 		sh.mu.Lock()
 		if hk.Txn == 0 {
 			sh.orphans[rk] = append(sh.orphans[rk], hk.Events...)
+		} else if owner := table[hk.Txn-1]; owner != nil {
+			sh.keys[rk] = &keyState{owner: owner, pending: hk.Pending, buffered: hk.Events}
 		} else {
-			sh.keys[rk] = &keyState{owner: txns[hk.Txn-1], pending: hk.Pending, buffered: hk.Events}
+			dropped++
 		}
 		sh.mu.Unlock()
 	}
-	return nil
+	return dropped, nil
 }

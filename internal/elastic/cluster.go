@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openmb/internal/core"
 	"openmb/internal/mbox"
+	"openmb/internal/obs"
 	"openmb/internal/packet"
 )
 
@@ -80,6 +82,13 @@ func (s *ClusterSource) Sample() Sample {
 	sort.Strings(names)
 	for _, name := range names {
 		e := reg[name]
+		if e.rt == nil {
+			// A process-driver member: the instance lives in another OS
+			// process, so there is no runtime handle to sample. It is still
+			// a managed group member — its load sample comes from the
+			// connection counters below.
+			continue
+		}
 		m := e.rt.Metrics()
 		rs := e.rt.RingStats()
 		replica := -1
@@ -116,7 +125,18 @@ func (s *ClusterSource) Sample() Sample {
 		for _, name := range connNames {
 			wc := conns[name]
 			rs.ControlFrames += wc.Received + wc.Sent
-			if _, ok := reg[name]; ok {
+			if e, ok := reg[name]; ok {
+				if e.rt == nil {
+					// Registered process-driver member, sampled here by its
+					// southbound connection: Group is preserved so the loop
+					// can scale it, Processed is the received-frame proxy.
+					out.Instances = append(out.Instances, InstanceSample{
+						MB:        name,
+						Group:     e.group,
+						Replica:   i,
+						Processed: wc.Received,
+					})
+				}
 				continue
 			}
 			out.Instances = append(out.Instances, InstanceSample{
@@ -174,6 +194,11 @@ type ClusterActuator struct {
 	// it so driver callbacks may consult Members.
 	mu     sync.Mutex
 	groups map[string]*memberBook
+
+	// Spawn/retire outcome counters, exported via Collect.
+	spawns        atomic.Uint64
+	spawnFailures atomic.Uint64
+	retires       atomic.Uint64
 }
 
 type memberBook struct {
@@ -248,19 +273,22 @@ func (a *ClusterActuator) ScaleOut(group, hot string) error {
 
 	clone, err := a.drv.Spawn(group, ordinal)
 	if err != nil {
+		a.spawnFailures.Add(1)
 		return fmt.Errorf("elastic: spawn %s#%d: %w", group, ordinal, err)
 	}
 	if err := a.cl.WaitForMB(clone.Name, spawnWait); err != nil {
-		a.drv.Retire(group, clone)
+		a.spawnFailures.Add(1)
+		a.retire(group, clone)
 		return fmt.Errorf("elastic: clone %q never registered: %w", clone.Name, err)
 	}
+	a.spawns.Add(1)
 	if err := a.cl.CloneSupport(hot, clone.Name); err != nil {
-		a.drv.Retire(group, clone)
+		a.retire(group, clone)
 		return fmt.Errorf("elastic: clone support %s -> %s: %w", hot, clone.Name, err)
 	}
 	match := a.drv.SplitMatch(group, hotM, clone)
 	if err := a.cl.MoveInternal(hot, clone.Name, match); err != nil {
-		a.drv.Retire(group, clone)
+		a.retire(group, clone)
 		return fmt.Errorf("elastic: split move %s -> %s: %w", hot, clone.Name, err)
 	}
 
@@ -336,8 +364,22 @@ func (a *ClusterActuator) ScaleIn(group string) error {
 	if !a.cl.WaitTxns(txnSettle) {
 		return fmt.Errorf("elastic: group %q: merge transactions never settled", group)
 	}
-	a.drv.Retire(group, victim)
+	a.retire(group, victim)
 	return nil
+}
+
+// retire counts and delegates a member disposal.
+func (a *ClusterActuator) retire(group string, m *Member) {
+	a.retires.Add(1)
+	a.drv.Retire(group, m)
+}
+
+// Collect implements obs.Collector: spawn/retire outcomes of the actuator's
+// scaling actions.
+func (a *ClusterActuator) Collect(e *obs.Emitter) {
+	e.Counter("openmb_elastic_spawns_total", "Group members spawned and registered by scale-outs.", a.spawns.Load())
+	e.Counter("openmb_elastic_spawn_failures_total", "Spawn attempts that failed or never registered.", a.spawnFailures.Load())
+	e.Counter("openmb_elastic_retires_total", "Group members retired (scale-in merges and failed-spawn cleanups).", a.retires.Load())
 }
 
 // Migrate implements Actuator: the live freeze→transfer→switch replica

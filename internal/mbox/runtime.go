@@ -109,11 +109,15 @@ type Runtime struct {
 	// forward sink is the fallback.
 	forwardBurst func(ps []*packet.Packet)
 
-	// conn is the live southbound connection; tr and addr remember how it
-	// was dialed so the reconnect loop can redial. All three ride connMu.
+	// conn is the live southbound connection; tr and addrs remember how it
+	// was dialed so the reconnect loop can redial. addrs is the candidate
+	// controller list, preferred first: a dial walks it in order, success
+	// promotes the winner to the front, an sbi.OpRedirect promotes the new
+	// owner's address, and a refused registration rotates the refuser to
+	// the back. All three ride connMu.
 	conn   *sbi.Conn
 	tr     sbi.Transport
-	addr   string
+	addrs  []string
 	connMu sync.RWMutex
 
 	// reconnect enables the southbound redial loop; the bounds shape its

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
+	"strings"
 	"time"
 
 	"openmb/internal/obs"
@@ -20,9 +21,24 @@ import (
 // the middlebox, and starts the southbound service loop. It corresponds to
 // the paper's MBs connecting to the controller, which then launches one
 // thread for state operations and one for events per MB.
+//
+// addr may be a comma-separated list of controller addresses. The first is
+// preferred; the rest are failover candidates tried in order when a dial
+// fails or a controller refuses the registration (a partitioned cluster
+// node that cannot commit ownership), and a cross-node pull's redirect
+// promotes the new owner's address to the front of the list.
 func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("mbox: connect: no controller address")
+	}
 	rt.connMu.Lock()
-	rt.tr, rt.addr = tr, addr
+	rt.tr, rt.addrs = tr, addrs
 	rt.connMu.Unlock()
 	conn, err := rt.dialSouthbound()
 	if err != nil {
@@ -36,46 +52,90 @@ func (rt *Runtime) Connect(tr sbi.Transport, addr string) error {
 	return nil
 }
 
-// dialSouthbound dials the stored controller address and performs the
-// session-establishing exchange: hello (always JSON) announcing name, kind,
-// codec, and event-batch willingness, then the codec upgrade. Used by
-// Connect and by the reconnect loop — session resume IS this exchange
-// re-run: marks, filters, and logic state live runtime-side and carry over,
-// while the controller rebuilds its routing view from the registration.
+// dialSouthbound dials the stored controller addresses in preference order
+// and performs the session-establishing exchange on the first that answers:
+// hello (always JSON) announcing name, kind, codec, and event-batch
+// willingness, then the codec upgrade. The winning address is promoted to
+// the front of the list so later redials prefer the controller that last
+// worked. Used by Connect and by the reconnect loop — session resume IS
+// this exchange re-run: marks, filters, and logic state live runtime-side
+// and carry over, while the controller rebuilds its routing view from the
+// registration.
 func (rt *Runtime) dialSouthbound() (*sbi.Conn, error) {
 	rt.connMu.RLock()
-	tr, addr := rt.tr, rt.addr
+	tr := rt.tr
+	addrs := append([]string(nil), rt.addrs...)
 	rt.connMu.RUnlock()
 	codec, err := sbi.ParseCodec(string(rt.codec))
 	if err != nil {
-		return nil, fmt.Errorf("mbox: connect %q: %w", addr, err)
+		return nil, fmt.Errorf("mbox: connect %q: %w", addrs[0], err)
 	}
-	raw, err := tr.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("mbox: connect %q: %w", addr, err)
+	var lastErr error
+	for _, addr := range addrs {
+		raw, err := tr.Dial(addr)
+		if err != nil {
+			lastErr = fmt.Errorf("mbox: connect %q: %w", addr, err)
+			continue
+		}
+		conn := sbi.NewConn(raw)
+		hello := &sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}
+		if codec != sbi.CodecJSON {
+			hello.Codec = codec
+		}
+		if rt.coalesce {
+			// Announce willingness to receive batched reprocess frames (the
+			// event analogue of chunk batching); a controller that predates
+			// event batching ignores the field and keeps per-event delivery.
+			hello.Batch = sbi.MaxEventsPerFrame
+		}
+		if err := conn.Send(hello); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		// The hello is always JSON; every frame after it uses the announced
+		// codec, on both sides.
+		if err := conn.Upgrade(codec); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		rt.promoteAddr(addr)
+		return conn, nil
 	}
-	conn := sbi.NewConn(raw)
-	hello := &sbi.Message{Type: sbi.MsgHello, Name: rt.name, Kind: rt.logic.Kind()}
-	if codec != sbi.CodecJSON {
-		hello.Codec = codec
+	return nil, lastErr
+}
+
+// promoteAddr makes addr the preferred (first-dialed) controller address,
+// learning it if it was not in the list. Called when a dial succeeds and
+// when a controller redirects the middlebox to its new owner.
+func (rt *Runtime) promoteAddr(addr string) {
+	if addr == "" {
+		return
 	}
-	if rt.coalesce {
-		// Announce willingness to receive batched reprocess frames (the
-		// event analogue of chunk batching); a controller that predates
-		// event batching ignores the field and keeps per-event delivery.
-		hello.Batch = sbi.MaxEventsPerFrame
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	out := make([]string, 0, len(rt.addrs)+1)
+	out = append(out, addr)
+	for _, a := range rt.addrs {
+		if a != addr {
+			out = append(out, a)
+		}
 	}
-	if err := conn.Send(hello); err != nil {
-		conn.Close()
-		return nil, err
+	rt.addrs = out
+}
+
+// rotateAddr demotes the preferred address behind the other candidates, so
+// the next dial tries a different controller first. Called when a
+// controller accepts the connection but refuses the registration — a dial
+// failure already skips ahead on its own, but a refusal needs an explicit
+// rotation or the runtime would redial the refuser forever.
+func (rt *Runtime) rotateAddr() {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	if len(rt.addrs) > 1 {
+		rt.addrs = append(rt.addrs[1:], rt.addrs[0])
 	}
-	// The hello is always JSON; every frame after it uses the announced
-	// codec, on both sides.
-	if err := conn.Upgrade(codec); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return conn, nil
 }
 
 // reconnectLoop redials the controller after a southbound disconnect:
@@ -134,10 +194,17 @@ const maxDeferredReplies = 16
 
 func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
 	defer rt.workersWG.Done()
-	served := 0
+	served, received := 0, 0
 	for {
 		m, err := conn.Receive()
 		if err != nil {
+			if received == 0 {
+				// The session died before a single frame arrived: the
+				// controller cut us off at the hello (HelloTimeout on a
+				// partitioned path) or its refusal never made it through.
+				// Prefer a different candidate on the redial.
+				rt.rotateAddr()
+			}
 			// The loop is exiting with replies possibly still deferred;
 			// publish them so a half-served pipeline is not lost with the
 			// buffer (a no-op on a closed transport).
@@ -155,6 +222,16 @@ func (rt *Runtime) serveSouthbound(conn *sbi.Conn) {
 				}
 			}
 			return
+		}
+		received++
+		if m.Type == sbi.MsgError && m.ID == 0 {
+			// An unsolicited error is a refused registration — a
+			// partitioned cluster node that cannot quorum-commit ownership
+			// answers the hello this way and closes. Rotate so the redial
+			// tries the next candidate controller instead of the refuser.
+			rt.rotateAddr()
+			conn.Close()
+			continue
 		}
 		if m.Type != sbi.MsgRequest {
 			continue
@@ -283,6 +360,32 @@ func (rt *Runtime) serveRequest(conn *sbi.Conn, m *sbi.Message) {
 			vals[i] = r.String()
 		}
 		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID, Count: len(recs), Values: vals})
+
+	case sbi.OpRedirect:
+		// Ownership moved across the cluster: reconnect to the named node.
+		// The ack must reach the wire before the connection drops (the old
+		// owner's release call is waiting on it), then the new address is
+		// promoted and the session closed — the serve loop's exit path
+		// redials, now preferring the new owner.
+		if m.Addr == "" {
+			fail(fmt.Errorf("mbox: redirect without address"))
+			return
+		}
+		_ = conn.SendDeferred(&sbi.Message{Type: sbi.MsgDone, ID: m.ID})
+		_ = conn.Flush()
+		rt.promoteAddr(m.Addr)
+		conn.Close()
+		if !rt.reconnect {
+			// A redirect implies a redial even when the steady-state
+			// reconnect loop is disabled; one-shot, same stop-race
+			// discipline as the serve loop's exit path.
+			select {
+			case <-rt.stop:
+			default:
+				rt.workersWG.Add(1)
+				go rt.reconnectLoop()
+			}
+		}
 
 	case sbi.OpEndTransaction:
 		if m.Enable {

@@ -134,11 +134,13 @@ const (
 	fError
 	fHandoff
 	fEvents
+	fAddr
+	fDir
 )
 
 // knownFields masks every bit this implementation understands; frames with
 // other bits set are from a newer, incompatible binary protocol.
-const knownFields = fEvents<<1 - 1
+const knownFields = fDir<<1 - 1
 
 // Event-presence bits (one byte).
 const (
@@ -311,6 +313,12 @@ func (c *binaryCodec) encode(m *Message) error {
 	if len(m.Events) > 0 {
 		flags |= fEvents
 	}
+	if m.Addr != "" {
+		flags |= fAddr
+	}
+	if len(m.Dir) > 0 {
+		flags |= fDir
+	}
 	body = binary.BigEndian.AppendUint32(body, flags)
 	body = appendUvarint(body, m.ID)
 
@@ -407,6 +415,17 @@ func (c *binaryCodec) encode(m *Message) error {
 		body = appendUvarint(body, uint64(len(m.Events)))
 		for _, ev := range m.Events {
 			body = appendEvent(body, ev)
+		}
+	}
+	if flags&fAddr != 0 {
+		body = appendString(body, m.Addr)
+	}
+	if flags&fDir != 0 {
+		body = appendUvarint(body, uint64(len(m.Dir)))
+		for _, de := range m.Dir {
+			body = appendString(body, de.Name)
+			body = appendString(body, de.Node)
+			body = appendUvarint(body, de.Version)
 		}
 	}
 
@@ -731,6 +750,23 @@ func (c *binaryCodec) decode() (*Message, error) {
 				return nil, err
 			}
 			m.Events = append(m.Events, ev)
+		}
+	}
+	if flags&fAddr != 0 {
+		m.Addr = r.string("addr")
+	}
+	if flags&fDir != 0 {
+		n := r.uvarint("dir")
+		// Each entry costs at least two length bytes and a version byte.
+		if r.err == nil && n > uint64(len(body)) {
+			return nil, fmt.Errorf("sbi: binary decode: dir entry count %d exceeds frame", n)
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			var de DirEntry
+			de.Name = r.string("dir name")
+			de.Node = r.string("dir node")
+			de.Version = r.uvarint("dir version")
+			m.Dir = append(m.Dir, de)
 		}
 	}
 	if r.err != nil {

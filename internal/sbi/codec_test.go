@@ -108,6 +108,21 @@ func testMessages() []*Message {
 			},
 		}},
 		{Type: MsgRequest, ID: 22, Op: OpTransferOwnership, Handoff: &Handoff{MB: "empty"}},
+		{Type: MsgHello, Name: "node-b", Kind: PeerKind, Codec: CodecBinary, Addr: "127.0.0.1:9754"}, // peer hello
+		{Type: MsgRequest, ID: 23, Op: OpDirUpdate, Dir: []DirEntry{
+			{Name: "prads1", Node: "node-a", Version: 3},
+			{Name: "bro1", Node: "node-b", Version: 1},
+		}},
+		{Type: MsgRequest, ID: 24, Op: OpDirSync},
+		{Type: MsgDone, ID: 24, Dir: []DirEntry{{Name: "prads1", Node: "node-a", Version: 3}},
+			Values: []string{"node-a=127.0.0.1:9753", "node-b=127.0.0.1:9754"}}, // dirSync reply
+		{Type: MsgRequest, ID: 25, Op: OpRedirect, Addr: "127.0.0.1:9755"},
+		{Type: MsgRequest, ID: 26, Op: OpReleaseMB, Name: "prads1", Addr: "127.0.0.1:9755"},
+		{Type: MsgRequest, ID: 27, Op: OpTransferOwnership, Handoff: &Handoff{ // registry-ID txn table
+			MB:   "prads1",
+			Keys: []HandoffKey{{Key: k, Txn: 1, Pending: 1}, {Key: k2, Txn: 2}},
+			Txns: []uint64{0x0007_0000_0000_0042, 0x0007_0000_0000_0043},
+		}},
 	}
 }
 

@@ -96,7 +96,52 @@ const (
 	// disturbing an armed session. The MsgDone reply carries Count records
 	// as rendered lines in Values, in capture order.
 	OpTraceDump Op = "traceDump"
+
+	// OpDirUpdate propagates replicated-directory entries between cluster
+	// nodes: the sender's view of which node owns which middlebox, as
+	// versioned entries in the Dir field. The receiver merges each entry
+	// under the deterministic conflict rule (higher version wins; equal
+	// versions break toward the lexicographically greater node name) and
+	// acknowledges with MsgDone. Acks are what ownership commits count
+	// toward their quorum, so a partitioned node that cannot reach a
+	// majority refuses the change. Travels node-to-node only.
+	OpDirUpdate Op = "dirUpdate"
+
+	// OpDirSync asks a peer node for its full directory snapshot. The
+	// MsgDone reply carries every entry in Dir plus the sender's known peer
+	// list in Values as "name=addr" strings, so a joining node learns both
+	// the directory and the mesh from one exchange.
+	OpDirSync Op = "dirSync"
+
+	// OpPeerLeave announces a node's graceful departure. The receiver
+	// removes the sender from its known-node set (shrinking future commit
+	// quorums) and stops redialing it. A crashed node never sends this, so
+	// it stays in the denominator — exactly the conservative behavior a
+	// partition-safe quorum needs.
+	OpPeerLeave Op = "peerLeave"
+
+	// OpRedirect tells a middlebox to reconnect to the controller address
+	// in Addr: the final step of a cross-node ownership pull. The middlebox
+	// acknowledges with MsgDone, promotes the address to the front of its
+	// dial list, and closes the connection so its reconnect machinery
+	// redials the new owner.
+	OpRedirect Op = "redirect"
+
+	// OpReleaseMB asks the owning node to give up the middlebox named in
+	// Name: freeze it, export its routing state, and redirect it to the
+	// requesting node's address (carried in Addr). The MsgDone reply
+	// carries the exported Handoff so the requester can re-import the
+	// frozen state once the middlebox re-registers. Travels node-to-node
+	// only.
+	OpReleaseMB Op = "releaseMB"
 )
+
+// PeerKind is the hello Kind a cluster node announces when dialing a fellow
+// node: the connection carries directory ops and ownership releases instead
+// of middlebox state ops. Peer hellos also carry the dialer's advertised
+// address in Addr, and the acceptor answers with a hello of its own (the
+// only hello that is ever answered) so the dialer learns its name.
+const PeerKind = "peer"
 
 // MsgType discriminates wire messages.
 type MsgType string
@@ -162,9 +207,12 @@ type Event struct {
 // Each record is one flow key's worth of the buffer-until-ACK machinery a
 // move maintains (§4.2.1), lifted to replica scope: how many puts are still
 // unacknowledged and which reprocess events wait behind them. Transaction
-// identity travels as an index into a transfer table the sender publishes
-// alongside the message (in-process: a slice of live transactions; a future
-// cross-process cluster would resolve it through a transaction registry).
+// identity travels as an index into the Txns table, whose entries are
+// cluster-wide registry IDs: the importer resolves each ID through its
+// transaction registry, so a handoff decoded on a fresh process reconstructs
+// txn bindings from bytes alone. IDs the importer's registry cannot resolve
+// belong to transactions that died with their coordinator; their keys are
+// dropped as aborted-remote.
 type Handoff struct {
 	// MB names the middlebox instance whose flowspace is moving.
 	MB string `json:"mb"`
@@ -276,6 +324,25 @@ type Message struct {
 
 	// Error payload (MsgError).
 	Error string `json:"error,omitempty"`
+
+	// Addr carries an endpoint address: the dialer's advertised peer
+	// address on a peer hello, the requesting node's address on an
+	// OpReleaseMB, and the new controller address on an OpRedirect.
+	Addr string `json:"addr,omitempty"`
+
+	// Dir carries replicated-directory entries (OpDirUpdate requests and
+	// OpDirSync replies).
+	Dir []DirEntry `json:"dir,omitempty"`
+}
+
+// DirEntry is one replicated-directory record: which cluster node owns a
+// middlebox, at what version. Versions are per-name monotone counters; the
+// conflict rule (higher version wins, ties break toward the greater node
+// name) makes concurrent merges deterministic on every replica.
+type DirEntry struct {
+	Name    string `json:"name"`
+	Node    string `json:"node"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // MaxEventsPerFrame bounds how many events one frame may carry: deep enough

@@ -73,6 +73,22 @@ type ClusterOptions = core.ClusterOptions
 // single-controller path.
 func NewCluster(opts ClusterOptions) *Cluster { return core.NewCluster(opts) }
 
+// Node is one controller process of a DISTRIBUTED cluster: it wraps a
+// Cluster with replica-to-replica SBI peer links, a replicated middlebox
+// directory with quorum-committed ownership changes, and cross-node
+// middlebox movement (Pull / the shadowed MoveInternal). Join an existing
+// cluster with Join; exit gracefully with Shutdown (drain, then announce
+// departure) or abruptly with Close (crash semantics — peers keep this node
+// in their quorum denominators).
+type Node = core.Node
+
+// NodeOptions configures a cluster node (name, advertised address, peer and
+// pull timeouts, and the embedded ClusterOptions).
+type NodeOptions = core.NodeOptions
+
+// NewNode creates a distributed-cluster node wrapping a fresh Cluster.
+func NewNode(opts NodeOptions) *Node { return core.NewNode(opts) }
+
 // Runtime hosts one middlebox instance and implements its southbound API.
 type Runtime = mbox.Runtime
 
@@ -329,6 +345,12 @@ type (
 	ElasticGroupDriver = elastic.GroupDriver
 	// ElasticMember is one instance of an elastic group.
 	ElasticMember = elastic.Member
+	// ElasticProcessDriver is a GroupDriver running each group member as a
+	// real openmb-mb OS process (spawn on scale-out, SIGTERM→SIGKILL retire
+	// on scale-in, prefix-halving flowspace splits).
+	ElasticProcessDriver = elastic.ProcessDriver
+	// ElasticProcessConfig configures an ElasticProcessDriver.
+	ElasticProcessConfig = elastic.ProcessConfig
 )
 
 // NewElasticLoop creates a placement controller over the source and actuator.
@@ -345,6 +367,12 @@ func NewElasticClusterSource(cl *Cluster) *ElasticClusterSource {
 // nil to skip sampling registration; drv nil means migrate-only.
 func NewElasticClusterActuator(cl *Cluster, src *ElasticClusterSource, drv ElasticGroupDriver) *ElasticClusterActuator {
 	return elastic.NewClusterActuator(cl, src, drv)
+}
+
+// NewElasticProcessDriver creates a GroupDriver spawning real openmb-mb
+// processes.
+func NewElasticProcessDriver(cfg ElasticProcessConfig) *ElasticProcessDriver {
+	return elastic.NewProcessDriver(cfg)
 }
 
 // SetElasticDefault sets whether daemons and eval rigs arm the elasticity
